@@ -1,0 +1,51 @@
+// Ablation A1 — what the Section V-D dominance pruning buys.
+//
+// Runs the PINUM plan-cache call with and without the dominance rule
+// ("if S_A is a subset of S_B and cost(S_A) < cost(S_B), remove plan B"),
+// comparing exported plan counts and build time. Without the rule, the
+// planner still deduplicates per (order, requirement) key, mirroring a
+// naive harvest-everything implementation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pinum/pinum_builder.h"
+
+namespace pinum {
+namespace {
+
+int Run() {
+  StarSchemaWorkload w = bench::MakePaperWorkload();
+  CandidateSet set = bench::MakeCandidates(w);
+  std::printf("# Ablation A1: Section V-D dominance pruning on/off\n");
+  std::printf("%-5s %-7s | %-10s %-10s | %-10s %-10s | %-9s\n", "query",
+              "IOCs", "plans_on", "ms_on", "plans_off", "ms_off",
+              "plan_cut");
+  for (const Query& q : w.queries()) {
+    PinumBuildOptions on;
+    PinumBuildStats on_stats;
+    auto cache_on = BuildInumCachePinum(q, w.db().catalog(), set,
+                                        w.db().stats(), on, &on_stats);
+    PinumBuildOptions off;
+    off.base_knobs.hooks.disable_dominance_pruning = true;
+    PinumBuildStats off_stats;
+    auto cache_off = BuildInumCachePinum(q, w.db().catalog(), set,
+                                         w.db().stats(), off, &off_stats);
+    if (!cache_on.ok() || !cache_off.ok()) return 1;
+    std::printf("%-5s %-7llu | %-10zu %-10.1f | %-10zu %-10.1f | %-8.1fx\n",
+                q.name.c_str(),
+                static_cast<unsigned long long>(on_stats.iocs_total),
+                cache_on->NumPlans(), on_stats.plan_cache_ms,
+                cache_off->NumPlans(), off_stats.plan_cache_ms,
+                static_cast<double>(cache_off->NumPlans()) /
+                    std::max<size_t>(1, cache_on->NumPlans()));
+  }
+  std::printf(
+      "# the pruning preserves per-configuration optima (see pinum_test's\n"
+      "# exactness property) while shrinking the cache and lookup time\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinum
+
+int main() { return pinum::Run(); }

@@ -1,0 +1,97 @@
+// Section VI-C — cost estimation accuracy of the cached model.
+//
+// For each query, draws random atomic configurations, compares the
+// PINUM-cache-derived cost against a direct what-if optimizer call, and
+// reports the relative error; the classic INUM cache is measured the same
+// way as the baseline.
+//
+// Paper claims: PINUM — six of ten queries under 1% error, three around
+// 4%, one around 9%; INUM baseline about 7% average error.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "inum/inum_builder.h"
+#include "optimizer/optimizer.h"
+#include "pinum/pinum_builder.h"
+
+namespace pinum {
+namespace {
+
+struct ErrorStats {
+  double sum = 0, max = 0;
+  int n = 0;
+  void Add(double e) {
+    sum += e;
+    max = std::max(max, e);
+    ++n;
+  }
+  double avg() const { return n > 0 ? sum / n : 0; }
+};
+
+int Run(int configs_per_query) {
+  StarSchemaWorkload w = bench::MakePaperWorkload();
+  CandidateSet set = bench::MakeCandidates(w);
+
+  std::printf("# Section VI-C: cost model accuracy over %d random atomic\n",
+              configs_per_query);
+  std::printf("# configurations per query (paper used 1000)\n");
+  std::printf("%-5s %-10s %-10s | %-10s %-10s\n", "query", "PINUM_avg",
+              "PINUM_max", "INUM_avg", "INUM_max");
+
+  int under_1 = 0, around_4 = 0, above = 0;
+  double pinum_total = 0, inum_total = 0;
+  for (const Query& q : w.queries()) {
+    PinumBuildOptions popts;
+    auto pinum = BuildInumCachePinum(q, w.db().catalog(), set,
+                                     w.db().stats(), popts, nullptr);
+    InumBuildOptions iopts;
+    auto inum = BuildInumCacheClassic(q, w.db().catalog(), set,
+                                      w.db().stats(), iopts, nullptr);
+    if (!pinum.ok() || !inum.ok()) {
+      std::fprintf(stderr, "%s: build failed\n", q.name.c_str());
+      return 1;
+    }
+    Rng rng(4242);
+    ErrorStats pinum_err, inum_err;
+    for (int t = 0; t < configs_per_query; ++t) {
+      const IndexConfig config = bench::RandomAtomicConfig(q, set, &rng);
+      Catalog sub = set.Subset(config);
+      Optimizer opt(&sub, &w.db().stats());
+      auto direct = opt.Optimize(q, PlannerKnobs{});
+      if (!direct.ok()) continue;
+      const double truth = direct->best->cost.total;
+      pinum_err.Add(std::abs(pinum->Cost(config) - truth) / truth);
+      inum_err.Add(std::abs(inum->Cost(config) - truth) / truth);
+    }
+    std::printf("%-5s %-10.3f %-10.3f | %-10.3f %-10.3f\n", q.name.c_str(),
+                100 * pinum_err.avg(), 100 * pinum_err.max,
+                100 * inum_err.avg(), 100 * inum_err.max);
+    pinum_total += pinum_err.avg();
+    inum_total += inum_err.avg();
+    if (pinum_err.avg() < 0.01) {
+      ++under_1;
+    } else if (pinum_err.avg() < 0.06) {
+      ++around_4;
+    } else {
+      ++above;
+    }
+  }
+  std::printf(
+      "# PINUM avg error %.3f%% across queries: %d under 1%%, %d in 1-6%%, "
+      "%d above\n",
+      100 * pinum_total / 10, under_1, around_4, above);
+  std::printf("# INUM  avg error %.3f%%  (paper: ~7%% average)\n",
+              100 * inum_total / 10);
+  std::printf(
+      "# paper (PINUM): 6 queries <1%%, 3 around 4%%, 1 around 9%%\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinum
+
+int main(int argc, char** argv) {
+  const int configs = argc > 1 ? std::atoi(argv[1]) : 200;
+  return pinum::Run(configs);
+}

@@ -1,0 +1,150 @@
+// Figure 6/7 — workload performance improvement from the index
+// selection tool.
+//
+// Materializes the star schema, runs the greedy advisor (PINUM cost
+// model, space budget = 50% of the database, mirroring the paper's 5 GB
+// against 10 GB), builds the suggested indexes for real, and reports
+// measured per-query execution times before/after.
+//
+// Paper claims: 95% average workload speed-up; suggestions dominated by
+// covering fact-table indexes plus order indexes on dimension tables.
+#include <cstdio>
+
+#include "advisor/greedy_advisor.h"
+#include "bench_util.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "pinum/pinum_builder.h"
+
+namespace pinum {
+namespace {
+
+int Run() {
+  StarSchemaSpec spec;
+  spec.scale = 0.01;  // fact: 600k rows materialized
+  auto wl = StarSchemaWorkload::Create(spec);
+  if (!wl.ok()) return 1;
+  StarSchemaWorkload& w = *wl;
+  if (auto s = w.Materialize(1.0); !s.ok()) {
+    std::fprintf(stderr, "materialize: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Database& db = w.db();
+
+  // The paper executes on a disk-resident PostgreSQL; our substrate
+  // executes in memory, so this experiment calibrates the cost model for
+  // memory-resident data (PostgreSQL's own guidance: page costs ~0 when
+  // everything is cached, CPU terms dominate). Every other experiment
+  // uses the stock disk constants.
+  PlannerKnobs mem_knobs;
+  mem_knobs.cost.seq_page_cost = 0.05;
+  mem_knobs.cost.random_page_cost = 0.06;
+
+  // Database size (heap bytes) -> budget = 50%.
+  int64_t heap_bytes = 0;
+  for (TableId t : w.tables()) {
+    heap_bytes += static_cast<int64_t>(db.stats().Find(t)->heap_pages) *
+                  PageLayout::kPageSize;
+  }
+
+  CandidateOptions copt;
+  auto cands =
+      GenerateCandidates(w.queries(), db.catalog(), db.stats(), copt);
+  auto set = MakeCandidateSet(db.catalog(), cands);
+  if (!set.ok()) return 1;
+
+  std::vector<InumCache> caches;
+  for (const Query& q : w.queries()) {
+    PinumBuildOptions popts;
+    popts.base_knobs = mem_knobs;
+    auto cache = BuildInumCachePinum(q, db.catalog(), *set, db.stats(),
+                                     popts, nullptr);
+    if (!cache.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
+                   cache.status().ToString().c_str());
+      return 1;
+    }
+    caches.push_back(std::move(*cache));
+  }
+
+  AdvisorOptions aopts;
+  aopts.budget_bytes = heap_bytes / 2;
+  const AdvisorResult advice = RunGreedyAdvisor(caches, *set, aopts);
+
+  std::printf("# Figure 6/7: index selection benefit (materialized run)\n");
+  std::printf("# database %.1f MB, budget %.1f MB, %zu candidates, "
+              "%lld cache evaluations (zero optimizer calls)\n",
+              heap_bytes / 1048576.0, aopts.budget_bytes / 1048576.0,
+              set->candidate_ids.size(),
+              static_cast<long long>(advice.evaluations));
+  std::printf("# suggested %zu indexes (%.1f MB):\n", advice.chosen.size(),
+              advice.total_size_bytes / 1048576.0);
+  for (IndexId id : advice.chosen) {
+    const IndexDef* def = set->universe.FindIndex(id);
+    const TableDef* table = db.catalog().FindTable(def->table);
+    std::printf("#   %s on %s (%zu key cols, %.1f MB)\n", def->name.c_str(),
+                table->name.c_str(), def->key_columns.size(),
+                IndexSizeBytes(*def) / 1048576.0);
+  }
+
+  // Execute before/after.
+  PlanExecutor exec(&db);
+  Optimizer base_opt(&db.catalog(), &db.stats());
+  std::vector<double> before_ms(w.queries().size());
+  std::vector<int64_t> rows(w.queries().size());
+  std::vector<uint64_t> checksums(w.queries().size());
+  for (size_t i = 0; i < w.queries().size(); ++i) {
+    auto plan = base_opt.Optimize(w.queries()[i], mem_knobs);
+    if (!plan.ok()) return 1;
+    auto r = exec.Execute(w.queries()[i], *plan->best);
+    if (!r.ok()) {
+      std::fprintf(stderr, "exec %s: %s\n", w.queries()[i].name.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    before_ms[i] = r->millis;
+    rows[i] = r->rows;
+    checksums[i] = r->checksum;
+  }
+
+  for (IndexId id : advice.chosen) {
+    const IndexDef* def = set->universe.FindIndex(id);
+    auto built =
+        db.BuildIndex("built_" + def->name, def->table, def->key_columns);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%-5s %-12s %-12s %-10s %-8s\n", "query", "orig_ms",
+              "indexed_ms", "speedup", "checks");
+  Optimizer indexed_opt(&db.catalog(), &db.stats());
+  double sum_impr = 0;
+  for (size_t i = 0; i < w.queries().size(); ++i) {
+    auto plan = indexed_opt.Optimize(w.queries()[i], mem_knobs);
+    if (!plan.ok()) return 1;
+    auto r = exec.Execute(w.queries()[i], *plan->best);
+    if (!r.ok()) {
+      std::fprintf(stderr, "exec %s: %s\n", w.queries()[i].name.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    const bool same =
+        r->rows == rows[i] && r->checksum == checksums[i] && r->ordered_ok;
+    const double impr = 1.0 - r->millis / std::max(1e-3, before_ms[i]);
+    sum_impr += impr;
+    std::printf("%-5s %-12.1f %-12.1f %-10.1f %-8s\n",
+                w.queries()[i].name.c_str(), before_ms[i], r->millis,
+                before_ms[i] / std::max(1e-3, r->millis),
+                same ? "ok" : "MISMATCH");
+  }
+  std::printf("# average improvement: %.1f%%   (paper: 95%% average)\n",
+              100 * sum_impr / static_cast<double>(w.queries().size()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinum
+
+int main() { return pinum::Run(); }

@@ -1,0 +1,66 @@
+// Shared setup for the experiment harnesses: the paper-scale workload,
+// candidate sets, and random atomic configurations.
+#ifndef PINUM_BENCH_BENCH_UTIL_H_
+#define PINUM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "advisor/candidate_generator.h"
+#include "common/rng.h"
+#include "inum/access_cost_table.h"
+#include "whatif/candidate_set.h"
+#include "workload/star_schema.h"
+
+namespace pinum {
+namespace bench {
+
+/// Paper-scale workload (10 GB-equivalent statistics, no data).
+inline StarSchemaWorkload MakePaperWorkload() {
+  StarSchemaSpec spec;
+  auto w = StarSchemaWorkload::Create(spec);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload: %s\n", w.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*w);
+}
+
+/// Candidate universe for the whole workload (the paper's experiment
+/// searches 1093 candidates; the count depends on the query generator's
+/// seed and is reported by the harness).
+inline CandidateSet MakeCandidates(const StarSchemaWorkload& w) {
+  CandidateOptions copt;
+  auto cands = GenerateCandidates(w.queries(), w.db().catalog(),
+                                  w.db().stats(), copt);
+  auto set = MakeCandidateSet(w.db().catalog(), cands);
+  if (!set.ok()) {
+    std::fprintf(stderr, "candidates: %s\n",
+                 set.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*set);
+}
+
+/// Random atomic configuration over the candidates relevant to `q`
+/// (at most one index per table, each table filled with prob. `p_fill`).
+inline IndexConfig RandomAtomicConfig(const Query& q, const CandidateSet& set,
+                                      Rng* rng, double p_fill = 0.6) {
+  std::map<TableId, std::vector<IndexId>> per_table;
+  for (IndexId id : set.candidate_ids) {
+    const IndexDef* def = set.universe.FindIndex(id);
+    if (q.PosOfTable(def->table) >= 0) per_table[def->table].push_back(id);
+  }
+  IndexConfig config;
+  for (auto& [table, ids] : per_table) {
+    (void)table;
+    if (rng->Chance(p_fill)) config.push_back(ids[rng->Index(ids.size())]);
+  }
+  return config;
+}
+
+}  // namespace bench
+}  // namespace pinum
+
+#endif  // PINUM_BENCH_BENCH_UTIL_H_

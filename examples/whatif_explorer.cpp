@@ -1,0 +1,82 @@
+// What-if explorer: materializes a small star schema, then compares the
+// optimizer's estimates for *simulated* indexes against really-built
+// indexes and against actual execution — the full what-if loop of
+// Section V-A end to end.
+//
+//   $ ./whatif_explorer
+#include <cstdio>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "whatif/whatif_index.h"
+#include "workload/star_schema.h"
+
+using namespace pinum;
+
+int main() {
+  StarSchemaSpec spec;
+  spec.scale = 0.005;  // fact: 300k rows
+  spec.query_sizes = {3};
+  auto workload = StarSchemaWorkload::Create(spec);
+  if (!workload.ok()) return 1;
+  if (auto s = workload->Materialize(1.0); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  Database& db = workload->db();
+  const Query& q = workload->queries()[0];
+  std::printf("query: %s\n\n", q.ToSql(db.catalog()).c_str());
+
+  Optimizer base_opt(&db.catalog(), &db.stats());
+  auto base_plan = base_opt.Optimize(q, PlannerKnobs{});
+  PlanExecutor exec(&db);
+  auto base_run = exec.Execute(q, *base_plan->best);
+  std::printf("no indexes   : estimated cost %10.0f, measured %7.1f ms, "
+              "%lld rows\n",
+              base_plan->best->cost.total, base_run->millis,
+              static_cast<long long>(base_run->rows));
+
+  // Candidate: covering index on the fact table's filter column.
+  const TableDef* fact = db.catalog().FindTable(workload->fact_table());
+  std::vector<ColumnIdx> key = {q.filters[0].column.column};
+  for (ColumnIdx c : q.NeededColumns(workload->fact_table())) {
+    if (c != key[0]) key.push_back(c);
+  }
+
+  // (a) Simulate it.
+  std::vector<IndexDef> hypo = {MakeWhatIfIndex(
+      "whatif_fact", *fact, key,
+      db.stats().Find(workload->fact_table())->row_count)};
+  auto overlay = CatalogWithIndexes(db.catalog(), hypo, nullptr);
+  Optimizer whatif_opt(&*overlay, &db.stats());
+  auto whatif_plan = whatif_opt.Optimize(q, PlannerKnobs{});
+  std::printf("what-if index: estimated cost %10.0f  (simulated only — "
+              "%lld leaf pages, internal pages ignored)\n",
+              whatif_plan->best->cost.total,
+              static_cast<long long>(hypo[0].leaf_pages));
+
+  // (b) Build it for real, re-optimize, execute.
+  auto built = db.BuildIndex("real_fact", workload->fact_table(), key);
+  if (!built.ok()) return 1;
+  const IndexDef* real = db.catalog().FindIndex(*built);
+  Optimizer real_opt(&db.catalog(), &db.stats());
+  auto real_plan = real_opt.Optimize(q, PlannerKnobs{});
+  auto real_run = exec.Execute(q, *real_plan->best);
+  std::printf("real index   : estimated cost %10.0f, measured %7.1f ms, "
+              "%lld rows (%lld total pages incl. %lld internal)\n",
+              real_plan->best->cost.total, real_run->millis,
+              static_cast<long long>(real_run->rows),
+              static_cast<long long>(real->total_pages),
+              static_cast<long long>(real->total_pages - real->leaf_pages));
+
+  std::printf("\nwhat-if vs real estimation error: %.3f%%   "
+              "(paper Section VI-B: avg 0.33%%)\n",
+              100.0 * std::abs(whatif_plan->best->cost.total -
+                               real_plan->best->cost.total) /
+                  real_plan->best->cost.total);
+  std::printf("results identical: %s\n",
+              base_run->checksum == real_run->checksum ? "yes" : "NO");
+  std::printf("measured speed-up from the index: %.1fx\n",
+              base_run->millis / std::max(1e-3, real_run->millis));
+  return 0;
+}

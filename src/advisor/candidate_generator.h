@@ -1,0 +1,42 @@
+// Candidate-index generation for the index-selection tool: the tool
+// "first statically analyses the queries to find a large set of candidate
+// indexes" (paper, Section V-E) — its accuracy advantage over commercial
+// designers comes "mainly because of its significantly larger candidate
+// index set".
+#ifndef PINUM_ADVISOR_CANDIDATE_GENERATOR_H_
+#define PINUM_ADVISOR_CANDIDATE_GENERATOR_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "stats/table_stats.h"
+
+namespace pinum {
+
+/// Candidate generation knobs.
+struct CandidateOptions {
+  /// Emit single-column indexes on filter/join/order/group columns.
+  bool single_column = true;
+  /// Emit covering indexes: interesting column first, then every other
+  /// column the query reads from the table (enables index-only scans —
+  /// the paper's winning fact-table indexes are of this shape).
+  bool covering = true;
+  /// Emit workload-covering indexes: a filter column first, then the
+  /// union of every column any workload query reads from the table. One
+  /// such index serves many queries at once, which is how the paper's
+  /// advisor amortizes a few fat fact-table indexes across the workload.
+  bool workload_covering = true;
+  /// Upper bound on emitted candidates (0 = unlimited).
+  size_t max_candidates = 0;
+};
+
+/// Generates deduplicated hypothetical candidate indexes for a workload.
+std::vector<IndexDef> GenerateCandidates(const std::vector<Query>& workload,
+                                         const Catalog& catalog,
+                                         const StatsCatalog& stats,
+                                         const CandidateOptions& options);
+
+}  // namespace pinum
+
+#endif  // PINUM_ADVISOR_CANDIDATE_GENERATOR_H_

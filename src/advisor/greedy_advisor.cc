@@ -1,0 +1,74 @@
+#include "advisor/greedy_advisor.h"
+
+#include <algorithm>
+
+#include "whatif/whatif_index.h"
+
+namespace pinum {
+
+namespace {
+
+double WorkloadCost(const std::vector<InumCache>& caches,
+                    const IndexConfig& config) {
+  double total = 0;
+  for (const auto& cache : caches) total += cache.Cost(config);
+  return total;
+}
+
+}  // namespace
+
+AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options) {
+  AdvisorResult result;
+  IndexConfig chosen;
+  result.workload_cost_before = WorkloadCost(caches, chosen);
+  ++result.evaluations;
+  double current_cost = result.workload_cost_before;
+  int64_t used_bytes = 0;
+
+  std::vector<IndexId> remaining = candidates.candidate_ids;
+  while (true) {
+    if (options.max_indexes > 0 &&
+        static_cast<int>(chosen.size()) >= options.max_indexes) {
+      break;
+    }
+    IndexId best = kInvalidIndexId;
+    double best_cost = current_cost;
+    int64_t best_size = 0;
+    for (IndexId cand : remaining) {
+      const IndexDef* def = candidates.universe.FindIndex(cand);
+      if (def == nullptr) continue;
+      const int64_t size = IndexSizeBytes(*def);
+      if (used_bytes + size > options.budget_bytes) continue;
+      chosen.push_back(cand);
+      const double cost = WorkloadCost(caches, chosen);
+      ++result.evaluations;
+      chosen.pop_back();
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = cand;
+        best_size = size;
+      }
+    }
+    if (best == kInvalidIndexId) break;
+    const double benefit = current_cost - best_cost;
+    if (benefit < options.min_relative_benefit *
+                      std::max(1.0, result.workload_cost_before)) {
+      break;
+    }
+    chosen.push_back(best);
+    used_bytes += best_size;
+    current_cost = best_cost;
+    remaining.erase(std::remove(remaining.begin(), remaining.end(), best),
+                    remaining.end());
+    result.steps.push_back({best, benefit, best_size, current_cost});
+  }
+
+  result.chosen = chosen;
+  result.workload_cost_after = current_cost;
+  result.total_size_bytes = used_bytes;
+  return result;
+}
+
+}  // namespace pinum

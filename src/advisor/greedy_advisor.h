@@ -1,0 +1,56 @@
+// The index-selection tool of Section V-E: an iterative greedy algorithm
+// over a large candidate set, evaluating configurations through the
+// (P)INUM cache instead of the optimizer.
+#ifndef PINUM_ADVISOR_GREEDY_ADVISOR_H_
+#define PINUM_ADVISOR_GREEDY_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "inum/cache.h"
+#include "whatif/candidate_set.h"
+
+namespace pinum {
+
+/// Advisor configuration.
+struct AdvisorOptions {
+  /// Disk-space budget for the suggested indexes (bytes). The paper's
+  /// experiment restricts suggestions to 5 GB against a 10 GB database.
+  int64_t budget_bytes = 5LL * 1024 * 1024 * 1024;
+  /// Stop after this many winners regardless of budget (0 = unlimited).
+  int max_indexes = 0;
+  /// Minimum relative benefit to keep iterating.
+  double min_relative_benefit = 1e-6;
+};
+
+/// One greedy iteration's outcome.
+struct AdvisorStep {
+  IndexId chosen = kInvalidIndexId;
+  double benefit = 0;
+  int64_t size_bytes = 0;
+  double workload_cost_after = 0;
+};
+
+/// Advisor output.
+struct AdvisorResult {
+  std::vector<IndexId> chosen;
+  std::vector<AdvisorStep> steps;
+  double workload_cost_before = 0;
+  double workload_cost_after = 0;
+  int64_t total_size_bytes = 0;
+  /// Number of configuration evaluations performed (each would have been
+  /// an optimizer call without the cache).
+  int64_t evaluations = 0;
+};
+
+/// Runs the greedy selection: repeatedly adds the candidate with the
+/// largest workload benefit until the space budget would be violated or
+/// no candidate helps. Workload cost of a configuration is the sum of
+/// per-query InumCache costs — pure arithmetic, no optimizer calls.
+AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options);
+
+}  // namespace pinum
+
+#endif  // PINUM_ADVISOR_GREEDY_ADVISOR_H_

@@ -1,0 +1,111 @@
+// Logical schema objects: columns, tables, indexes, foreign keys.
+#ifndef PINUM_CATALOG_SCHEMA_H_
+#define PINUM_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace pinum {
+
+/// Definition of one table column.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+
+  /// Stored byte width (before alignment).
+  int width() const { return TypeWidth(type); }
+};
+
+/// Foreign-key edge used by the workload and query generators to pick
+/// joinable table subsets (the paper's queries join "via foreign keys").
+struct ForeignKey {
+  TableId child_table = kInvalidTableId;
+  ColumnIdx child_column = -1;
+  TableId parent_table = kInvalidTableId;
+  ColumnIdx parent_column = -1;  // parent primary key
+};
+
+/// Definition of one table.
+struct TableDef {
+  TableId id = kInvalidTableId;
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Width of one heap tuple including per-tuple overhead, MAXALIGNed.
+  int TupleWidth() const {
+    int w = 0;
+    for (const auto& c : columns) w += c.width();
+    return PageLayout::MaxAlign(w) + PageLayout::kHeapTupleOverhead;
+  }
+
+  /// Finds a column position by name; -1 if absent.
+  ColumnIdx FindColumn(const std::string& col_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == col_name) return static_cast<ColumnIdx>(i);
+    }
+    return -1;
+  }
+};
+
+/// Definition of a (real or hypothetical) B-tree index.
+///
+/// An index "covers" an interesting order when the order column is the
+/// index's *first* key column (paper, Section II, definition 4). A
+/// multi-column index whose key list contains every column a query needs
+/// from the table enables an index-only scan (a "covering index" in the
+/// paper's Section VI-E sense).
+struct IndexDef {
+  IndexId id = kInvalidIndexId;
+  std::string name;
+  TableId table = kInvalidTableId;
+  /// Ordered key columns (positions within the table).
+  std::vector<ColumnIdx> key_columns;
+  /// True for what-if indexes that exist only as statistics.
+  bool hypothetical = false;
+
+  // ---- Size statistics (filled by storage for real indexes, by the
+  // what-if estimator for hypothetical ones). ----
+  /// Number of leaf pages.
+  int64_t leaf_pages = 0;
+  /// Leaf + internal pages. For what-if indexes the paper's estimator
+  /// ignores internal pages, so total_pages == leaf_pages there (the
+  /// source of the small error measured in Section VI-B).
+  int64_t total_pages = 0;
+  /// B-tree height (number of internal levels above the leaves).
+  int height = 0;
+
+  ColumnIdx leading_column() const {
+    return key_columns.empty() ? -1 : key_columns[0];
+  }
+
+  /// True if the key list contains `col`.
+  bool ContainsColumn(ColumnIdx col) const {
+    for (ColumnIdx k : key_columns) {
+      if (k == col) return true;
+    }
+    return false;
+  }
+
+  /// True if the key list contains every column in `cols`.
+  bool CoversColumns(const std::vector<ColumnIdx>& cols) const {
+    for (ColumnIdx c : cols) {
+      if (!ContainsColumn(c)) return false;
+    }
+    return true;
+  }
+
+  /// Width of one index entry including per-entry overhead, MAXALIGNed.
+  int EntryWidth(const TableDef& table_def) const {
+    int w = 0;
+    for (ColumnIdx c : key_columns) {
+      w += table_def.columns[static_cast<size_t>(c)].width();
+    }
+    return PageLayout::MaxAlign(w) + PageLayout::kIndexTupleOverhead;
+  }
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_CATALOG_SCHEMA_H_

@@ -1,0 +1,85 @@
+// Fundamental identifier and value types shared by all modules.
+#ifndef PINUM_CATALOG_TYPES_H_
+#define PINUM_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pinum {
+
+/// Global table identifier assigned by the Catalog.
+using TableId = int32_t;
+/// Table-local column position (0-based).
+using ColumnIdx = int32_t;
+/// Global index identifier assigned by the Catalog.
+using IndexId = int32_t;
+
+inline constexpr TableId kInvalidTableId = -1;
+inline constexpr IndexId kInvalidIndexId = -1;
+
+/// Column value. The star-schema workload of the paper uses numeric
+/// (integer) columns exclusively, so the engine stores int64 values;
+/// DOUBLE columns are represented as scaled integers by the generator.
+using Value = int64_t;
+
+/// Supported column types.
+enum class TypeId : uint8_t {
+  kInt32,
+  kInt64,
+};
+
+/// Byte width of a type as stored in heap tuples and index entries.
+inline int TypeWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+      return 8;
+  }
+  return 8;
+}
+
+/// Fully-qualified reference to a column: (global table, local position).
+struct ColumnRef {
+  TableId table = kInvalidTableId;
+  ColumnIdx column = -1;
+
+  bool operator==(const ColumnRef&) const = default;
+  bool operator<(const ColumnRef& o) const {
+    return table != o.table ? table < o.table : column < o.column;
+  }
+  bool valid() const { return table != kInvalidTableId && column >= 0; }
+};
+
+/// Hash functor so ColumnRef can key unordered containers.
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(c.table) << 32) ^
+                                static_cast<uint32_t>(c.column));
+  }
+};
+
+/// Physical layout constants mirroring PostgreSQL's heap/btree pages.
+struct PageLayout {
+  static constexpr int kPageSize = 8192;
+  static constexpr int kPageHeader = 24;
+  /// Heap tuple header + item pointer.
+  static constexpr int kHeapTupleOverhead = 28;
+  /// Index tuple header + item pointer.
+  static constexpr int kIndexTupleOverhead = 12;
+  /// Default btree leaf fill factor (PostgreSQL: 90%).
+  static constexpr double kBtreeFillFactor = 0.90;
+  /// Heap fill factor.
+  static constexpr double kHeapFillFactor = 1.0;
+
+  /// Bytes usable for tuples in a page.
+  static constexpr int UsableBytes() { return kPageSize - kPageHeader; }
+
+  /// Aligns a width to the 8-byte boundary PostgreSQL uses (MAXALIGN).
+  static constexpr int MaxAlign(int width) { return (width + 7) & ~7; }
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_CATALOG_TYPES_H_

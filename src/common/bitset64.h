@@ -1,0 +1,77 @@
+// Relation-set bitmaps used by the dynamic-programming join planner.
+#ifndef PINUM_COMMON_BITSET64_H_
+#define PINUM_COMMON_BITSET64_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace pinum {
+
+/// Set of up to 64 relation positions, stored as a word.
+///
+/// Positions are query-local indexes (0 = first table in the FROM list),
+/// not global table ids.
+class RelSet {
+ public:
+  constexpr RelSet() : bits_(0) {}
+  constexpr explicit RelSet(uint64_t bits) : bits_(bits) {}
+
+  static constexpr RelSet Single(int pos) {
+    return RelSet(uint64_t{1} << pos);
+  }
+  /// Set containing positions [0, n).
+  static constexpr RelSet FirstN(int n) {
+    return RelSet(n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  constexpr bool Contains(int pos) const {
+    return (bits_ >> pos) & uint64_t{1};
+  }
+  constexpr bool ContainsAll(RelSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Overlaps(RelSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  constexpr bool Empty() const { return bits_ == 0; }
+  int Count() const { return std::popcount(bits_); }
+
+  constexpr RelSet Union(RelSet other) const {
+    return RelSet(bits_ | other.bits_);
+  }
+  constexpr RelSet Intersect(RelSet other) const {
+    return RelSet(bits_ & other.bits_);
+  }
+  constexpr RelSet Minus(RelSet other) const {
+    return RelSet(bits_ & ~other.bits_);
+  }
+  RelSet With(int pos) const { return Union(Single(pos)); }
+
+  /// Position of the lowest set bit. Requires !Empty().
+  int Lowest() const {
+    assert(!Empty());
+    return std::countr_zero(bits_);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool operator==(const RelSet&) const = default;
+
+  /// Iterates set positions, lowest first.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    uint64_t rest = bits_;
+    while (rest != 0) {
+      const int pos = std::countr_zero(rest);
+      fn(pos);
+      rest &= rest - 1;
+    }
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_COMMON_BITSET64_H_

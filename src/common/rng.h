@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation used throughout the
+// workload generators and experiments. All experiments are reproducible
+// given the seed; no call site uses std::random_device.
+#ifndef PINUM_COMMON_RNG_H_
+#define PINUM_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pinum {
+
+/// SplitMix64-seeded xoshiro256** generator.
+///
+/// Deliberately self-contained (no <random> engine state size surprises)
+/// so that streams are stable across platforms and standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random element index for a container of size n > 0.
+  size_t Index(size_t n) {
+    assert(n > 0);
+    return static_cast<size_t>(Next() % n);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n). Requires k <= n.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    assert(k <= n);
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_COMMON_RNG_H_

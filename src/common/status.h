@@ -1,0 +1,130 @@
+// Status and StatusOr: exception-free error propagation across module
+// boundaries, modeled after absl::Status / arrow::Result.
+#ifndef PINUM_COMMON_STATUS_H_
+#define PINUM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pinum {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+///
+/// Functions that can fail return Status (or StatusOr<T>) instead of
+/// throwing; callers must check ok() before proceeding.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions mirror absl::StatusOr ergonomics.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pinum
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PINUM_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::pinum::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value or returning the
+/// error. Usage: PINUM_ASSIGN_OR_RETURN(auto x, Foo());
+#define PINUM_ASSIGN_OR_RETURN(lhs, expr)           \
+  PINUM_ASSIGN_OR_RETURN_IMPL_(                     \
+      PINUM_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define PINUM_STATUS_CONCAT_INNER_(a, b) a##b
+#define PINUM_STATUS_CONCAT_(a, b) PINUM_STATUS_CONCAT_INNER_(a, b)
+#define PINUM_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#endif  // PINUM_COMMON_STATUS_H_

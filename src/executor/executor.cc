@@ -1,0 +1,523 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace pinum {
+
+namespace {
+
+/// Materialized intermediate result.
+struct Relation {
+  std::vector<ColumnRef> schema;
+  std::vector<std::vector<Value>> rows;
+
+  int IndexOf(ColumnRef c) const {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == c) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+bool EvalCompare(Value lhs, CompareOp op, Value rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+/// FNV-1a over the row values.
+uint64_t RowHash(const std::vector<Value>& row) {
+  uint64_t h = 1469598103934665603ULL;
+  for (Value v : row) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class ExecContext {
+ public:
+  ExecContext(const Database* db, const Query* query)
+      : db_(db), query_(query) {}
+
+  StatusOr<Relation> Eval(const Path& path) {
+    switch (path.kind) {
+      case PathKind::kSeqScan:
+        return EvalSeqScan(path);
+      case PathKind::kIndexScan:
+        return EvalIndexScan(path);
+      case PathKind::kNestLoop:
+        return EvalNestLoop(path);
+      case PathKind::kHashJoin:
+        return EvalHashJoin(path);
+      case PathKind::kMergeJoin:
+        return EvalMergeJoin(path);
+      case PathKind::kSort:
+        return EvalSort(path);
+      case PathKind::kHashAgg:
+      case PathKind::kGroupAgg:
+        return EvalAgg(path);
+      case PathKind::kIndexProbe:
+        return Status::Internal(
+            "IndexProbe must appear as the inner of a NestLoop");
+    }
+    return Status::Unimplemented("unknown path kind");
+  }
+
+ private:
+  /// Output schema of a base-table scan: the columns the query needs.
+  std::vector<ColumnRef> ScanSchema(TableId table) const {
+    std::vector<ColumnRef> schema;
+    for (ColumnIdx c : query_->NeededColumns(table)) {
+      schema.push_back({table, c});
+    }
+    return schema;
+  }
+
+  /// True when `row` (a full heap row) passes the query's filters.
+  bool PassesFilters(const TableData& data, RowIdx r,
+                     const std::vector<FilterPredicate>& filters) const {
+    for (const auto& f : filters) {
+      if (!EvalCompare(data.at(r, f.column.column), f.op, f.constant)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void EmitRow(Relation* out, const TableData& data, RowIdx r) const {
+    std::vector<Value> row;
+    row.reserve(out->schema.size());
+    for (const auto& c : out->schema) row.push_back(data.at(r, c.column));
+    out->rows.push_back(std::move(row));
+  }
+
+  StatusOr<Relation> EvalSeqScan(const Path& path) {
+    const TableData* data = db_->FindData(path.table);
+    if (data == nullptr) {
+      return Status::InvalidArgument("table not materialized");
+    }
+    Relation out;
+    out.schema = ScanSchema(path.table);
+    const auto filters = query_->FiltersOn(path.table);
+    const int64_t n = data->NumRows();
+    for (RowIdx r = 0; r < n; ++r) {
+      if (PassesFilters(*data, r, filters)) EmitRow(&out, *data, r);
+    }
+    return out;
+  }
+
+  /// Bounds on the index's leading column implied by the query filters.
+  static void LeadingBounds(const std::vector<FilterPredicate>& filters,
+                            ColumnIdx lead, Value* lo, Value* hi) {
+    *lo = std::numeric_limits<Value>::min();
+    *hi = std::numeric_limits<Value>::max();
+    for (const auto& f : filters) {
+      if (f.column.column != lead) continue;
+      switch (f.op) {
+        case CompareOp::kEq:
+          *lo = std::max(*lo, f.constant);
+          *hi = std::min(*hi, f.constant);
+          break;
+        case CompareOp::kLt:
+          *hi = std::min(*hi, f.constant - 1);
+          break;
+        case CompareOp::kLe:
+          *hi = std::min(*hi, f.constant);
+          break;
+        case CompareOp::kGt:
+          *lo = std::max(*lo, f.constant + 1);
+          break;
+        case CompareOp::kGe:
+          *lo = std::max(*lo, f.constant);
+          break;
+      }
+    }
+  }
+
+  StatusOr<Relation> EvalIndexScan(const Path& path) {
+    const TableData* data = db_->FindData(path.table);
+    const BTreeIndex* index = db_->FindBuiltIndex(path.index);
+    if (data == nullptr) {
+      return Status::InvalidArgument("table not materialized");
+    }
+    if (index == nullptr) {
+      return Status::InvalidArgument(
+          "plan references a hypothetical (what-if) index; build it first");
+    }
+    Relation out;
+    out.schema = ScanSchema(path.table);
+    const auto filters = query_->FiltersOn(path.table);
+    Value lo, hi;
+    LeadingBounds(filters, index->def().leading_column(), &lo, &hi);
+    for (RowIdx r : index->RangeScan(lo, hi)) {
+      if (PassesFilters(*data, r, filters)) EmitRow(&out, *data, r);
+    }
+    return out;
+  }
+
+  /// Join predicates crossing the two input schemas (unapplied so far).
+  std::vector<std::pair<int, int>> CrossingPreds(const Relation& outer,
+                                                 const Relation& inner) const {
+    std::vector<std::pair<int, int>> crossing;
+    for (const auto& j : query_->joins) {
+      const int lo = outer.IndexOf(j.left), li = inner.IndexOf(j.left);
+      const int ro = outer.IndexOf(j.right), ri = inner.IndexOf(j.right);
+      if (lo >= 0 && ri >= 0) crossing.emplace_back(lo, ri);
+      if (ro >= 0 && li >= 0) crossing.emplace_back(ro, li);
+    }
+    return crossing;
+  }
+
+  template <typename T>
+  static std::vector<T> Concat(const std::vector<T>& a,
+                               const std::vector<T>& b) {
+    std::vector<T> out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+
+  StatusOr<Relation> EvalNestLoop(const Path& path) {
+    PINUM_ASSIGN_OR_RETURN(Relation outer, Eval(*path.outer));
+    Relation out;
+
+    if (path.inner->kind == PathKind::kIndexProbe) {
+      const Path& probe = *path.inner;
+      const TableData* data = db_->FindData(probe.table);
+      const BTreeIndex* index = db_->FindBuiltIndex(probe.index);
+      if (data == nullptr) {
+        return Status::InvalidArgument("table not materialized");
+      }
+      if (index == nullptr) {
+        return Status::InvalidArgument(
+            "plan probes a hypothetical (what-if) index; build it first");
+      }
+      Relation inner_schema_only;
+      inner_schema_only.schema = ScanSchema(probe.table);
+      out.schema =
+          Concat(outer.schema, inner_schema_only.schema);
+      // Outer-side column of the probe predicate.
+      const JoinPredicate& jp = path.join_preds.at(0);
+      const ColumnRef outer_col =
+          jp.left.table == probe.table ? jp.right : jp.left;
+      const int outer_idx = outer.IndexOf(outer_col);
+      if (outer_idx < 0) return Status::Internal("probe column not in outer");
+      const auto filters = query_->FiltersOn(probe.table);
+      // Remaining crossing predicates beyond the probe itself.
+      std::vector<Value> irow;
+      for (const auto& orow : outer.rows) {
+        const Value v = orow[static_cast<size_t>(outer_idx)];
+        index->ProbeEqual(v, [&](RowIdx r) {
+          if (!PassesFilters(*data, r, filters)) return;
+          irow.clear();
+          for (const auto& c : inner_schema_only.schema) {
+            irow.push_back(data->at(r, c.column));
+          }
+          // Apply all other crossing join predicates.
+          bool ok = true;
+          for (const auto& j : query_->joins) {
+            if (&j == &jp) continue;
+            const int lo = outer.IndexOf(j.left);
+            const int ri = inner_schema_only.IndexOf(j.right);
+            const int ro = outer.IndexOf(j.right);
+            const int li = inner_schema_only.IndexOf(j.left);
+            if (lo >= 0 && ri >= 0 &&
+                orow[static_cast<size_t>(lo)] !=
+                    irow[static_cast<size_t>(ri)]) {
+              ok = false;
+            }
+            if (ro >= 0 && li >= 0 &&
+                orow[static_cast<size_t>(ro)] !=
+                    irow[static_cast<size_t>(li)]) {
+              ok = false;
+            }
+          }
+          if (ok) out.rows.push_back(Concat(orow, irow));
+        });
+      }
+      return out;
+    }
+
+    // Materialized inner.
+    PINUM_ASSIGN_OR_RETURN(Relation inner, Eval(*path.inner));
+    out.schema = Concat(outer.schema, inner.schema);
+    const auto crossing = CrossingPreds(outer, inner);
+    for (const auto& orow : outer.rows) {
+      for (const auto& irow : inner.rows) {
+        bool ok = true;
+        for (const auto& [oc, ic] : crossing) {
+          if (orow[static_cast<size_t>(oc)] != irow[static_cast<size_t>(ic)]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out.rows.push_back(Concat(orow, irow));
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Relation> EvalHashJoin(const Path& path) {
+    PINUM_ASSIGN_OR_RETURN(Relation outer, Eval(*path.outer));
+    PINUM_ASSIGN_OR_RETURN(Relation inner, Eval(*path.inner));
+    Relation out;
+    out.schema = Concat(outer.schema, inner.schema);
+    auto crossing = CrossingPreds(outer, inner);
+    if (crossing.empty()) return Status::Internal("hash join without preds");
+    const auto [hash_oc, hash_ic] = crossing[0];
+    std::unordered_multimap<Value, size_t> table;
+    table.reserve(inner.rows.size());
+    for (size_t i = 0; i < inner.rows.size(); ++i) {
+      table.emplace(inner.rows[i][static_cast<size_t>(hash_ic)], i);
+    }
+    for (const auto& orow : outer.rows) {
+      auto [lo_it, hi_it] =
+          table.equal_range(orow[static_cast<size_t>(hash_oc)]);
+      for (auto it = lo_it; it != hi_it; ++it) {
+        const auto& irow = inner.rows[it->second];
+        bool ok = true;
+        for (size_t k = 1; k < crossing.size(); ++k) {
+          const auto& [oc, ic] = crossing[k];
+          if (orow[static_cast<size_t>(oc)] != irow[static_cast<size_t>(ic)]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out.rows.push_back(Concat(orow, irow));
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Relation> EvalMergeJoin(const Path& path) {
+    PINUM_ASSIGN_OR_RETURN(Relation outer, Eval(*path.outer));
+    PINUM_ASSIGN_OR_RETURN(Relation inner, Eval(*path.inner));
+    Relation out;
+    out.schema = Concat(outer.schema, inner.schema);
+    const JoinPredicate& jp = path.join_preds.at(0);
+    int oc = outer.IndexOf(jp.left), ic = inner.IndexOf(jp.right);
+    if (oc < 0 || ic < 0) {
+      oc = outer.IndexOf(jp.right);
+      ic = inner.IndexOf(jp.left);
+    }
+    if (oc < 0 || ic < 0) return Status::Internal("merge pred not in inputs");
+    // The planner guarantees sorted inputs (index order or explicit Sort);
+    // verify rather than silently re-sort, so plan bugs surface in tests.
+    auto sorted_by = [](const Relation& r, int col) {
+      for (size_t i = 1; i < r.rows.size(); ++i) {
+        if (r.rows[i - 1][static_cast<size_t>(col)] >
+            r.rows[i][static_cast<size_t>(col)]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!sorted_by(outer, oc) || !sorted_by(inner, ic)) {
+      return Status::Internal("merge join inputs not sorted");
+    }
+    const auto crossing = CrossingPreds(outer, inner);
+    size_t i = 0, j = 0;
+    while (i < outer.rows.size() && j < inner.rows.size()) {
+      const Value vo = outer.rows[i][static_cast<size_t>(oc)];
+      const Value vi = inner.rows[j][static_cast<size_t>(ic)];
+      if (vo < vi) {
+        ++i;
+      } else if (vo > vi) {
+        ++j;
+      } else {
+        // Join the equal-key blocks.
+        size_t i_end = i, j_end = j;
+        while (i_end < outer.rows.size() &&
+               outer.rows[i_end][static_cast<size_t>(oc)] == vo) {
+          ++i_end;
+        }
+        while (j_end < inner.rows.size() &&
+               inner.rows[j_end][static_cast<size_t>(ic)] == vi) {
+          ++j_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            bool ok = true;
+            for (const auto& [co, ci] : crossing) {
+              if (outer.rows[a][static_cast<size_t>(co)] !=
+                  inner.rows[b][static_cast<size_t>(ci)]) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) out.rows.push_back(Concat(outer.rows[a], inner.rows[b]));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Relation> EvalSort(const Path& path) {
+    PINUM_ASSIGN_OR_RETURN(Relation child, Eval(*path.outer));
+    std::vector<int> keys;
+    for (const auto& c : path.order.columns) {
+      const int idx = child.IndexOf(c);
+      if (idx < 0) return Status::Internal("sort column missing from input");
+      keys.push_back(idx);
+    }
+    std::stable_sort(child.rows.begin(), child.rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (int k : keys) {
+                         const size_t ki = static_cast<size_t>(k);
+                         if (a[ki] != b[ki]) return a[ki] < b[ki];
+                       }
+                       return false;
+                     });
+    return child;
+  }
+
+  StatusOr<Relation> EvalAgg(const Path& path) {
+    PINUM_ASSIGN_OR_RETURN(Relation child, Eval(*path.outer));
+    // Output schema mirrors the select list: group columns keep their
+    // values, other select columns carry the aggregate.
+    Relation out;
+    out.schema = query_->select;
+    std::vector<int> group_idx;
+    for (const auto& g : query_->group_by) {
+      const int idx = child.IndexOf(g);
+      if (idx < 0) return Status::Internal("group column missing");
+      group_idx.push_back(idx);
+    }
+    std::vector<int> select_idx;
+    for (const auto& s : query_->select) {
+      const int idx = child.IndexOf(s);
+      if (idx < 0) return Status::Internal("select column missing");
+      select_idx.push_back(idx);
+    }
+    std::vector<bool> is_group(query_->select.size(), false);
+    for (size_t i = 0; i < query_->select.size(); ++i) {
+      is_group[i] = std::find(query_->group_by.begin(), query_->group_by.end(),
+                              query_->select[i]) != query_->group_by.end();
+    }
+    std::map<std::vector<Value>, std::vector<Value>> groups;
+    for (const auto& row : child.rows) {
+      std::vector<Value> key;
+      key.reserve(group_idx.size());
+      for (int g : group_idx) key.push_back(row[static_cast<size_t>(g)]);
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.resize(query_->select.size(), 0);
+        for (size_t i = 0; i < query_->select.size(); ++i) {
+          if (is_group[i]) {
+            it->second[i] = row[static_cast<size_t>(select_idx[i])];
+          } else if (query_->aggregate == AggKind::kMin) {
+            it->second[i] = std::numeric_limits<Value>::max();
+          } else if (query_->aggregate == AggKind::kMax) {
+            it->second[i] = std::numeric_limits<Value>::min();
+          }
+        }
+      }
+      for (size_t i = 0; i < query_->select.size(); ++i) {
+        if (is_group[i]) continue;
+        const Value v = row[static_cast<size_t>(select_idx[i])];
+        switch (query_->aggregate) {
+          case AggKind::kSum:
+            it->second[i] += v;
+            break;
+          case AggKind::kCount:
+            it->second[i] += 1;
+            break;
+          case AggKind::kMin:
+            it->second[i] = std::min(it->second[i], v);
+            break;
+          case AggKind::kMax:
+            it->second[i] = std::max(it->second[i], v);
+            break;
+          case AggKind::kNone:
+            it->second[i] = v;
+            break;
+        }
+      }
+    }
+    for (auto& [key, row] : groups) {
+      (void)key;
+      out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  const Database* db_;
+  const Query* query_;
+};
+
+}  // namespace
+
+StatusOr<ExecResult> PlanExecutor::Execute(const Query& query,
+                                           const Path& plan) const {
+  Stopwatch timer;
+  ExecContext ctx(db_, &query);
+  PINUM_ASSIGN_OR_RETURN(Relation result, ctx.Eval(plan));
+
+  // Final projection to the select list (aggregation nodes already
+  // project; plain queries still carry full join schemas here).
+  std::vector<int> proj;
+  const bool already_projected = result.schema == query.select;
+  if (!already_projected) {
+    for (const auto& s : query.select) {
+      const int idx = result.IndexOf(s);
+      if (idx < 0) return Status::Internal("select column missing at root");
+      proj.push_back(idx);
+    }
+  }
+
+  ExecResult out;
+  out.rows = static_cast<int64_t>(result.rows.size());
+
+  // Order check against the query's ORDER BY.
+  std::vector<int> order_idx;
+  for (const auto& k : query.order_by) {
+    const int idx = result.IndexOf(k.column);
+    if (idx >= 0) order_idx.push_back(idx);
+  }
+  for (size_t r = 1; r < result.rows.size() && !order_idx.empty(); ++r) {
+    for (int k : order_idx) {
+      const size_t ki = static_cast<size_t>(k);
+      if (result.rows[r - 1][ki] < result.rows[r][ki]) break;
+      if (result.rows[r - 1][ki] > result.rows[r][ki]) {
+        out.ordered_ok = false;
+        break;
+      }
+    }
+    if (!out.ordered_ok) break;
+  }
+
+  uint64_t checksum = 0;
+  std::vector<Value> projected;
+  for (const auto& row : result.rows) {
+    if (already_projected) {
+      checksum += RowHash(row);
+    } else {
+      projected.clear();
+      for (int idx : proj) projected.push_back(row[static_cast<size_t>(idx)]);
+      checksum += RowHash(projected);
+    }
+  }
+  out.checksum = checksum;
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace pinum

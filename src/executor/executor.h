@@ -1,0 +1,47 @@
+// Plan execution engine: interprets optimizer plans over the in-memory
+// row store. Used by the Figure 7 experiment (workload runtimes with and
+// without suggested indexes) and by integration tests that verify every
+// plan shape produces identical results.
+#ifndef PINUM_EXECUTOR_EXECUTOR_H_
+#define PINUM_EXECUTOR_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "optimizer/path.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace pinum {
+
+/// Execution outcome.
+struct ExecResult {
+  int64_t rows = 0;
+  /// Order-independent checksum of the projected output; identical for
+  /// every correct plan of the same query over the same data.
+  uint64_t checksum = 0;
+  /// True when the output respects the query's ORDER BY.
+  bool ordered_ok = true;
+  double millis = 0;
+};
+
+/// Executes optimizer plans against a Database with materialized data.
+///
+/// Index scans require the referenced index to be *real* (built via
+/// Database::BuildIndex); executing a plan that references a hypothetical
+/// index returns InvalidArgument — what-if indexes exist only as
+/// statistics (paper, Section V-A).
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(const Database* db) : db_(db) {}
+
+  /// Runs `plan` for `query`, returning row count, checksum and wall time.
+  StatusOr<ExecResult> Execute(const Query& query, const Path& plan) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_EXECUTOR_EXECUTOR_H_

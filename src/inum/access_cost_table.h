@@ -1,0 +1,81 @@
+// Per-(table, index) access costs: the "leaf" half of INUM's linear cost
+// decomposition. Built either from one hooked optimizer call (PINUM,
+// Section V-C) or from per-index optimizer calls (classic INUM).
+#ifndef PINUM_INUM_ACCESS_COST_TABLE_H_
+#define PINUM_INUM_ACCESS_COST_TABLE_H_
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "catalog/types.h"
+#include "optimizer/scan_builder.h"
+
+namespace pinum {
+
+/// A configuration: the set of (usually hypothetical) indexes assumed to
+/// exist. INUM calls a configuration "atomic" when it has at most one
+/// index per query table; the pricing below handles general sets by
+/// implicitly choosing the best per-table index, which coincides with the
+/// best atomic sub-configuration.
+using IndexConfig = std::vector<IndexId>;
+
+inline constexpr double kInfiniteCost =
+    std::numeric_limits<double>::infinity();
+
+/// Access costs of one index for one query table.
+struct IndexAccessCosts {
+  IndexId index = kInvalidIndexId;
+  /// Leading key column (the interesting order the index covers).
+  ColumnRef order_column;
+  /// Cheapest scan through this index (any variant).
+  double scan_cost = kInfiniteCost;
+  /// Cheapest scan that *delivers the index's order*.
+  double ordered_cost = kInfiniteCost;
+  /// Cheapest single equality probe (inner of an index NLJ);
+  /// infinite when the leading column is not a join column.
+  double probe_cost = kInfiniteCost;
+  double probe_rows = 0;
+};
+
+/// Access-cost table for one query.
+class AccessCostTable {
+ public:
+  AccessCostTable() = default;
+
+  /// Builds from the optimizer's per-table access info (one entry per
+  /// table position of the query).
+  explicit AccessCostTable(const std::vector<TableAccessInfo>& info);
+
+  /// Merges the per-index costs of `info` into the table (classic INUM's
+  /// incremental population, one optimizer call at a time).
+  void Absorb(const TableAccessInfo& info);
+
+  /// Cheapest unordered access to table `pos` using the heap or any
+  /// configuration index.
+  double Unordered(int pos, const IndexConfig& config) const;
+
+  /// Cheapest access delivering interesting order `col`; infinite when no
+  /// configuration index covers it.
+  double Ordered(int pos, ColumnRef col, const IndexConfig& config) const;
+
+  /// Cheapest equality probe on `col`; infinite when unsupported.
+  double Probe(int pos, ColumnRef col, const IndexConfig& config) const;
+
+  /// Sequential-scan cost of table `pos` (always available).
+  double HeapCost(int pos) const;
+
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+  size_t NumIndexCosts() const;
+
+ private:
+  struct PerTable {
+    double heap_cost = kInfiniteCost;
+    std::map<IndexId, IndexAccessCosts> by_index;
+  };
+  std::vector<PerTable> tables_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_INUM_ACCESS_COST_TABLE_H_

@@ -1,0 +1,79 @@
+// The INUM plan cache: internal plan costs plus leaf slots, and the
+// cost-derivation arithmetic that replaces optimizer calls (paper,
+// Section II).
+#ifndef PINUM_INUM_CACHE_H_
+#define PINUM_INUM_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inum/access_cost_table.h"
+#include "optimizer/path.h"
+
+namespace pinum {
+
+/// One cached plan: the configuration-independent "internal" cost of its
+/// joins/sorts/aggregation, plus one leaf slot per query table describing
+/// what the plan needs from that table's access path.
+struct CachedPlan {
+  /// cost.total minus all leaf access costs at harvest time.
+  double internal_cost = 0;
+  /// One slot per table position, ascending.
+  std::vector<LeafSlot> slots;
+  /// True when the plan contains a nested-loop join.
+  bool has_nlj = false;
+  /// Structure signature (operator tree), for redundancy analysis.
+  std::string signature;
+
+  /// Dedup key: the slot requirements (kind, column, multiplier).
+  std::string RequirementKey() const;
+};
+
+/// Per-query plan cache + access-cost table. Once built (by either the
+/// classic INUM procedure or PINUM's hooked calls), `Cost` answers
+/// what-if questions with pure arithmetic — no optimizer involved.
+class InumCache {
+ public:
+  /// Harvests `plan` into the cache (deduplicating by requirement key,
+  /// keeping the smaller internal cost). Ordered leaf requirements whose
+  /// order the plan does not consume (no merge join / streaming
+  /// aggregation / top-level ORDER BY relies on them) are downgraded to
+  /// unordered, making the cached plan usable under any configuration
+  /// with identical internal cost. `top_order_matters` should be true
+  /// when the query has an ORDER BY.
+  void AddPlan(const Path& plan, const Catalog& catalog,
+               bool top_order_matters = true);
+
+  AccessCostTable* mutable_access() { return &access_; }
+  const AccessCostTable& access() const { return access_; }
+
+  /// Estimated cost of the query under `config` (a set of candidate
+  /// index ids): min over cached plans of
+  ///   internal + sum over slots of multiplier x AC(slot, config).
+  double Cost(const IndexConfig& config) const;
+
+  /// The winning cached plan under `config`; nullptr if none applies.
+  const CachedPlan* BestPlan(const IndexConfig& config) const;
+
+  /// Cost of one cached plan under `config` (infinite when some slot
+  /// requirement cannot be met).
+  double PlanCost(const CachedPlan& plan, const IndexConfig& config) const;
+
+  size_t NumPlans() const { return plans_.size(); }
+  const std::vector<CachedPlan>& plans() const { return plans_; }
+
+  /// Number of distinct plan-tree signatures (the "unique plans" count of
+  /// the paper's Section IV analysis).
+  size_t NumUniqueSignatures() const;
+
+ private:
+  std::vector<CachedPlan> plans_;
+  std::map<std::string, size_t> by_key_;
+  AccessCostTable access_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_INUM_CACHE_H_

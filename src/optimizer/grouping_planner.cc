@@ -1,0 +1,145 @@
+#include "optimizer/grouping_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "optimizer/join_planner.h"
+
+namespace pinum {
+
+double EstimateGroups(const PlannerContext& ctx, double rows) {
+  const Query& q = *ctx.query;
+  if (q.group_by.empty()) return rows;
+  double nd = 1.0;
+  for (const auto& col : q.group_by) {
+    const ColumnStats* cs = ctx.stats->FindColumn(col);
+    nd *= cs != nullptr ? std::max(1.0, cs->n_distinct) : 100.0;
+  }
+  return std::max(1.0, std::min(nd, rows));
+}
+
+namespace {
+
+/// Wraps `child` in a Sort delivering `spec`.
+PathPtr MakeSort(const PlannerContext& ctx, const PathPtr& child,
+                 const OrderSpec& spec) {
+  auto sort = std::make_shared<Path>();
+  sort->kind = PathKind::kSort;
+  sort->rels = child->rels;
+  sort->rows = child->rows;
+  sort->width = child->width;
+  const Cost sc = ctx.model.Sort(child->rows, child->width);
+  sort->cost.startup = child->cost.total + sc.startup;
+  sort->cost.total = child->cost.total + sc.total;
+  sort->order = spec;
+  sort->outer = child;
+  sort->leaves = child->leaves;
+  return sort;
+}
+
+/// Wraps `child` in an aggregation node.
+PathPtr MakeAgg(const PlannerContext& ctx, const PathPtr& child, bool hashed,
+                double groups, int num_aggs) {
+  auto agg = std::make_shared<Path>();
+  agg->kind = hashed ? PathKind::kHashAgg : PathKind::kGroupAgg;
+  agg->rels = child->rels;
+  agg->rows = groups;
+  agg->width = child->width;
+  const Cost ac = hashed ? ctx.model.HashAgg(child->rows, groups, num_aggs)
+                         : ctx.model.GroupAgg(child->rows, groups, num_aggs);
+  agg->cost.startup = (hashed ? child->cost.total : child->cost.startup) +
+                      ac.startup;
+  agg->cost.total = child->cost.total + ac.total;
+  // Hash aggregation scrambles the input order; sorted aggregation
+  // preserves it.
+  agg->order = hashed ? OrderSpec::None() : child->order;
+  agg->outer = child;
+  agg->group_columns = ctx.query->group_by;
+  agg->leaves = child->leaves;
+  return agg;
+}
+
+}  // namespace
+
+StatusOr<std::vector<PathPtr>> FinalizePlans(
+    const PlannerContext& ctx, const std::vector<PathPtr>& tops) {
+  const Query& q = *ctx.query;
+  const bool diversity = ctx.knobs.hooks.export_all_plans;
+
+  OrderSpec required;
+  for (const auto& k : q.order_by) required.columns.push_back(k.column);
+  OrderSpec group_order;
+  for (const auto& c : q.group_by) group_order.columns.push_back(c);
+
+  int num_aggs = 0;
+  if (q.aggregate != AggKind::kNone) {
+    for (const auto& s : q.select) {
+      if (std::find(q.group_by.begin(), q.group_by.end(), s) ==
+          q.group_by.end()) {
+        ++num_aggs;
+      }
+    }
+  }
+
+  std::vector<PathPtr> finals;
+  for (const PathPtr& top : tops) {
+    std::vector<PathPtr> staged;
+    if (q.group_by.empty()) {
+      staged.push_back(top);
+    } else {
+      const double groups = EstimateGroups(ctx, top->rows);
+      staged.push_back(MakeAgg(ctx, top, /*hashed=*/true, groups, num_aggs));
+      if (top->order.Satisfies(group_order)) {
+        staged.push_back(
+            MakeAgg(ctx, top, /*hashed=*/false, groups, num_aggs));
+      } else {
+        staged.push_back(MakeAgg(ctx, MakeSort(ctx, top, group_order),
+                                 /*hashed=*/false, groups, num_aggs));
+      }
+    }
+    for (const PathPtr& p : staged) {
+      PathPtr final_path =
+          (required.empty() || p->order.Satisfies(required))
+              ? p
+              : MakeSort(ctx, p, required);
+      if (diversity && ctx.knobs.hooks.disable_dominance_pruning) {
+        // Ablation A1: key-dedup only, no dominance pruning.
+        final_path->internal_cost =
+            final_path->cost.total - final_path->LeafCostSum();
+        finals.push_back(std::move(final_path));
+      } else {
+        AddPath(&finals, std::move(final_path), diversity);
+      }
+    }
+  }
+  if (diversity && ctx.knobs.hooks.disable_dominance_pruning) {
+    // Deduplicate by (order, requirement) key, keeping min internal cost.
+    std::map<std::string, PathPtr> by_key;
+    for (const auto& p : finals) {
+      auto [it, inserted] = by_key.try_emplace(p->RequirementOrderKey(), p);
+      if (!inserted && p->internal_cost < it->second->internal_cost) {
+        it->second = p;
+      }
+    }
+    finals.clear();
+    for (auto& [key, p] : by_key) {
+      (void)key;
+      finals.push_back(std::move(p));
+    }
+  }
+  if (finals.empty()) {
+    return Status::Internal("no plans survived finalization");
+  }
+  if (!diversity) {
+    // Standard mode: report only the winner, like a stock optimizer.
+    PathPtr best = finals[0];
+    for (const auto& p : finals) {
+      if (p->cost.total < best->cost.total) best = p;
+    }
+    return std::vector<PathPtr>{best};
+  }
+  return finals;
+}
+
+}  // namespace pinum

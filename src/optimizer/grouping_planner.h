@@ -1,0 +1,27 @@
+// The Grouping Planner of Figure 2: derives the query's required order,
+// and on the return path from the join planner adds aggregation and Sort
+// nodes to plans that do not already deliver the required order.
+#ifndef PINUM_OPTIMIZER_GROUPING_PLANNER_H_
+#define PINUM_OPTIMIZER_GROUPING_PLANNER_H_
+
+#include <vector>
+
+#include "optimizer/path.h"
+#include "optimizer/planner_context.h"
+
+namespace pinum {
+
+/// Finalizes top-level join paths: attaches grouping/aggregation and any
+/// Sort required by ORDER BY. Returns the finalized plan list pruned
+/// under the active mode's dominance rule — the full per-IOC plan set
+/// under PINUM's export_all_plans hook, the singleton winner otherwise.
+StatusOr<std::vector<PathPtr>> FinalizePlans(const PlannerContext& ctx,
+                                             const std::vector<PathPtr>& tops);
+
+/// Estimated number of groups for the query's GROUP BY over `rows` input
+/// rows (product of per-column distinct counts, capped by rows).
+double EstimateGroups(const PlannerContext& ctx, double rows);
+
+}  // namespace pinum
+
+#endif  // PINUM_OPTIMIZER_GROUPING_PLANNER_H_

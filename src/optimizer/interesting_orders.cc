@@ -1,0 +1,89 @@
+#include "optimizer/interesting_orders.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace pinum {
+
+std::vector<std::vector<ColumnRef>> PerTableInterestingOrders(
+    const Query& query) {
+  std::vector<std::set<ColumnRef>> sets(query.tables.size());
+  auto add = [&](ColumnRef c) {
+    const int pos = query.PosOfTable(c.table);
+    if (pos >= 0) sets[static_cast<size_t>(pos)].insert(c);
+  };
+  for (const auto& j : query.joins) {
+    add(j.left);
+    add(j.right);
+  }
+  for (const auto& g : query.group_by) add(g);
+  for (const auto& o : query.order_by) add(o.column);
+  std::vector<std::vector<ColumnRef>> out(query.tables.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    out[i].assign(sets[i].begin(), sets[i].end());
+  }
+  return out;
+}
+
+uint64_t CountIocs(const std::vector<std::vector<ColumnRef>>& orders) {
+  uint64_t n = 1;
+  for (const auto& per_table : orders) {
+    n *= static_cast<uint64_t>(per_table.size()) + 1;
+  }
+  return n;
+}
+
+IocEnumerator::IocEnumerator(std::vector<std::vector<ColumnRef>> per_table)
+    : per_table_(std::move(per_table)), digits_(per_table_.size(), 0) {}
+
+void IocEnumerator::Reset() {
+  std::fill(digits_.begin(), digits_.end(), size_t{0});
+  done_ = false;
+  started_ = false;
+}
+
+bool IocEnumerator::Next(Ioc* out) {
+  if (done_) return false;
+  if (started_) {
+    // Increment the odometer.
+    size_t i = 0;
+    for (; i < digits_.size(); ++i) {
+      if (digits_[i] < per_table_[i].size()) {
+        ++digits_[i];
+        break;
+      }
+      digits_[i] = 0;
+    }
+    if (i == digits_.size()) {
+      done_ = true;
+      return false;
+    }
+  }
+  started_ = true;
+  out->assign(per_table_.size(), ColumnRef{});
+  for (size_t t = 0; t < per_table_.size(); ++t) {
+    if (digits_[t] > 0) (*out)[t] = per_table_[t][digits_[t] - 1];
+  }
+  return true;
+}
+
+std::string IocToString(const Ioc& ioc, const Catalog& catalog) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < ioc.size(); ++i) {
+    if (i > 0) out << ", ";
+    if (!ioc[i].valid()) {
+      out << "Φ";
+    } else {
+      const TableDef* t = catalog.FindTable(ioc[i].table);
+      out << (t != nullptr
+                  ? t->columns[static_cast<size_t>(ioc[i].column)].name
+                  : "?");
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace pinum

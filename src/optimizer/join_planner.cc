@@ -1,0 +1,356 @@
+#include "optimizer/join_planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pinum {
+
+namespace {
+constexpr double kCostFuzz = 1e-9;
+
+/// Merges two position-sorted leaf vectors, preserving the order.
+std::vector<LeafSlot> MergeLeaves(const std::vector<LeafSlot>& a,
+                                  const std::vector<LeafSlot>& b) {
+  std::vector<LeafSlot> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const LeafSlot& x, const LeafSlot& y) {
+               return x.table_pos < y.table_pos;
+             });
+  return out;
+}
+
+void SetInternalCost(Path* p) {
+  p->internal_cost = p->cost.total - p->LeafCostSum();
+}
+
+}  // namespace
+
+bool PathDominates(const Path& a, const Path& b,
+                   bool preserve_ioc_diversity) {
+  if (preserve_ioc_diversity) {
+    // Section V-D dominance, strengthened to be provably safe under
+    // re-pricing: compare *internal* costs (total minus leaf access
+    // costs). If a's internal cost is no larger, a requires no more from
+    // any leaf (S_A subset of S_B pointwise), and a delivers a covering
+    // order, then for every index configuration C
+    //   cost_C(a) = internal(a) + sum AC_C(reqs_a)
+    //             <= internal(b) + sum AC_C(reqs_b) = cost_C(b),
+    // because an unordered requirement is priced as the minimum over all
+    // access paths. Hence b can never be the per-configuration optimum.
+    if (a.internal_cost > b.internal_cost + kCostFuzz) return false;
+    if (!a.order.Satisfies(b.order)) return false;
+    return LeafReqsSubsumedBy(a, b);
+  }
+  // Standard PostgreSQL add_path semantics.
+  if (a.cost.total > b.cost.total + kCostFuzz) return false;
+  if (a.cost.startup > b.cost.startup + kCostFuzz) return false;
+  return a.order.Satisfies(b.order);
+}
+
+void AddPath(std::vector<PathPtr>* paths, PathPtr path,
+             bool preserve_ioc_diversity) {
+  SetInternalCost(path.get());
+  for (auto it = paths->begin(); it != paths->end();) {
+    if (PathDominates(**it, *path, preserve_ioc_diversity)) return;
+    if (PathDominates(*path, **it, preserve_ioc_diversity)) {
+      it = paths->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  paths->push_back(std::move(path));
+}
+
+void DominancePrune(std::vector<PathPtr>* paths) {
+  std::vector<PathPtr> kept;
+  kept.reserve(paths->size());
+  for (size_t i = 0; i < paths->size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < paths->size() && !dominated; ++j) {
+      if (j == i) continue;
+      // Tie-break: identical keys cannot occur here (deduplicated by
+      // key); mutual dominance would imply identical keys, so the check
+      // is asymmetric in practice.
+      if (PathDominates(*(*paths)[j], *(*paths)[i],
+                        /*preserve_ioc_diversity=*/true)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) kept.push_back((*paths)[i]);
+  }
+  *paths = std::move(kept);
+}
+
+void JoinPlanner::Add(Cell* cell, PathPtr path) {
+  ++paths_considered_;
+  if (!ctx_->knobs.hooks.export_all_plans) {
+    AddPath(&cell->paths, std::move(path), /*preserve_ioc_diversity=*/false);
+    return;
+  }
+  // Export mode: O(1) dedup on the (order, requirements) key, keeping the
+  // path with the smallest internal cost. Cross-key dominance pruning
+  // runs once per completed cell (FinalizeCell).
+  SetInternalCost(path.get());
+  const std::string key = path->RequirementOrderKey();
+  auto [it, inserted] = cell->by_key.try_emplace(key, cell->paths.size());
+  if (inserted) {
+    cell->paths.push_back(std::move(path));
+  } else if (path->internal_cost <
+             cell->paths[it->second]->internal_cost - kCostFuzz) {
+    cell->paths[it->second] = std::move(path);
+  }
+}
+
+void JoinPlanner::FinalizeCell(Cell* cell) {
+  if (!ctx_->knobs.hooks.export_all_plans) return;
+  if (!ctx_->knobs.hooks.disable_dominance_pruning) {
+    DominancePrune(&cell->paths);
+  }
+  cell->by_key.clear();
+}
+
+JoinPlanner::Cell JoinPlanner::MakeBaseCell(int pos) {
+  const TableAccessInfo& info = ctx_->rels[static_cast<size_t>(pos)];
+  Cell cell;
+  cell.rows = info.filtered_rows;
+  cell.width = info.needed_width;
+  for (const ScanOption& opt : info.options) {
+    auto p = std::make_shared<Path>();
+    p->kind = opt.index == kInvalidIndexId ? PathKind::kSeqScan
+                                           : PathKind::kIndexScan;
+    p->rels = RelSet::Single(pos);
+    p->rows = opt.rows;
+    p->width = info.needed_width;
+    p->cost = opt.cost;
+    p->order = opt.order;
+    p->table = info.table;
+    p->table_pos = pos;
+    p->index = opt.index;
+    p->index_only = opt.index_only;
+    p->sel_index = opt.sel_index;
+    LeafSlot slot;
+    slot.table_pos = pos;
+    slot.table = info.table;
+    slot.req = opt.order.empty() ? LeafReqKind::kUnordered
+                                 : LeafReqKind::kOrdered;
+    slot.column = opt.order.Leading();
+    slot.multiplier = 1.0;
+    slot.unit_cost = opt.cost.total;
+    slot.rows = opt.rows;
+    slot.index_used = opt.index;
+    slot.index_only = opt.index_only;
+    p->leaves = {slot};
+    Add(&cell, std::move(p));
+  }
+  FinalizeCell(&cell);
+  return cell;
+}
+
+PathPtr JoinPlanner::EnsureSorted(const PathPtr& path, ColumnRef col) {
+  if (path->order.Satisfies(OrderSpec::Single(col))) return path;
+  auto sort = std::make_shared<Path>();
+  sort->kind = PathKind::kSort;
+  sort->rels = path->rels;
+  sort->rows = path->rows;
+  sort->width = path->width;
+  const Cost sc = ctx_->model.Sort(path->rows, path->width);
+  sort->cost.startup = path->cost.total + sc.startup;
+  sort->cost.total = path->cost.total + sc.total;
+  sort->order = OrderSpec::Single(col);
+  sort->outer = path;
+  sort->leaves = path->leaves;
+  return sort;
+}
+
+void JoinPlanner::MakeJoins(Cell* cell, RelSet s, const Cell& outer_cell,
+                            RelSet a, const Cell& inner_cell, RelSet b) {
+  // Join predicates connecting the two sides.
+  std::vector<const JoinPredInfo*> connecting;
+  for (const auto& p : ctx_->preds) {
+    if (p.Connects(a, b)) connecting.push_back(&p);
+  }
+  if (connecting.empty()) return;  // no cross products
+
+  const double rows_out = cell->rows;
+  const CostModel& model = ctx_->model;
+  const PlannerKnobs& knobs = ctx_->knobs;
+
+  for (const PathPtr& pa : outer_cell.paths) {
+    for (const PathPtr& pb : inner_cell.paths) {
+      // ---- Hash join ----
+      if (knobs.enable_hashjoin) {
+        auto hj = std::make_shared<Path>();
+        hj->kind = PathKind::kHashJoin;
+        hj->rels = s;
+        hj->rows = rows_out;
+        hj->width = cell->width;
+        const Cost jc = model.HashJoin(pa->rows, pb->rows, pb->width,
+                                       pa->width, rows_out);
+        hj->cost.startup = pb->cost.total + jc.startup;
+        hj->cost.total = pa->cost.total + pb->cost.total + jc.total;
+        hj->order = OrderSpec::None();
+        hj->outer = pa;
+        hj->inner = pb;
+        hj->join_preds.push_back(connecting[0]->pred);
+        hj->leaves = MergeLeaves(pa->leaves, pb->leaves);
+        Add(cell, std::move(hj));
+      }
+
+      // ---- Merge join (one per connecting predicate) ----
+      if (knobs.enable_mergejoin) {
+        for (const JoinPredInfo* jp : connecting) {
+          const ColumnRef outer_col = a.Contains(jp->left_pos)
+                                          ? jp->pred.left
+                                          : jp->pred.right;
+          const ColumnRef inner_col = a.Contains(jp->left_pos)
+                                          ? jp->pred.right
+                                          : jp->pred.left;
+          PathPtr so = EnsureSorted(pa, outer_col);
+          PathPtr si = EnsureSorted(pb, inner_col);
+          auto mj = std::make_shared<Path>();
+          mj->kind = PathKind::kMergeJoin;
+          mj->rels = s;
+          mj->rows = rows_out;
+          mj->width = cell->width;
+          const Cost jc = model.MergeJoin(so->rows, si->rows, rows_out);
+          mj->cost.startup = so->cost.startup + si->cost.startup + jc.startup;
+          mj->cost.total = so->cost.total + si->cost.total + jc.total;
+          mj->order = so->order;  // merge preserves the outer order
+          mj->outer = so;
+          mj->inner = si;
+          mj->join_preds.push_back(jp->pred);
+          mj->leaves = MergeLeaves(so->leaves, si->leaves);
+          Add(cell, std::move(mj));
+        }
+      }
+
+      // ---- Nested-loop joins ----
+      if (!knobs.enable_nestloop) continue;
+
+      // (a) Index nested loop: single-relation inner probed through an
+      // index on the join column.
+      if (b.Count() == 1) {
+        const int inner_pos = b.Lowest();
+        const TableAccessInfo& inner_info =
+            ctx_->rels[static_cast<size_t>(inner_pos)];
+        for (const JoinPredInfo* jp : connecting) {
+          const ColumnRef inner_col =
+              jp->pred.left.table == inner_info.table ? jp->pred.left
+                                                      : jp->pred.right;
+          for (const ProbeOption& probe : inner_info.probes) {
+            if (!(probe.column == inner_col)) continue;
+            auto ip = std::make_shared<Path>();
+            ip->kind = PathKind::kIndexProbe;
+            ip->rels = b;
+            ip->rows = probe.rows_per_probe;
+            ip->width = inner_info.needed_width;
+            ip->cost = probe.cost_per_probe;
+            ip->table = inner_info.table;
+            ip->table_pos = inner_pos;
+            ip->index = probe.index;
+            ip->index_only = probe.index_only;
+            ip->probe_column = probe.column;
+
+            auto nl = std::make_shared<Path>();
+            nl->kind = PathKind::kNestLoop;
+            nl->rels = s;
+            nl->rows = rows_out;
+            nl->width = cell->width;
+            nl->cost.startup = pa->cost.startup;
+            nl->cost.total = pa->cost.total +
+                             pa->rows * probe.cost_per_probe.total +
+                             model.OutputCost(rows_out);
+            nl->order = pa->order;  // NLJ preserves the outer order
+            nl->outer = pa;
+            nl->inner = ip;
+            nl->join_preds.push_back(jp->pred);
+            LeafSlot slot;
+            slot.table_pos = inner_pos;
+            slot.table = inner_info.table;
+            slot.req = LeafReqKind::kProbe;
+            slot.column = probe.column;
+            slot.multiplier = pa->rows;
+            slot.unit_cost = probe.cost_per_probe.total;
+            slot.rows = probe.rows_per_probe;
+            slot.index_used = probe.index;
+            slot.index_only = probe.index_only;
+            nl->leaves = MergeLeaves(pa->leaves, {slot});
+            Add(cell, std::move(nl));
+          }
+        }
+      }
+
+      // (b) Nested loop over a materialized inner.
+      {
+        const double rescans = std::max(0.0, pa->rows - 1.0);
+        const Cost mat = model.Material(pb->rows, pb->width);
+        const double rescan_cost =
+            model.RescanMaterialCost(pb->rows, pb->width);
+        auto nl = std::make_shared<Path>();
+        nl->kind = PathKind::kNestLoop;
+        nl->rels = s;
+        nl->rows = rows_out;
+        nl->width = cell->width;
+        nl->cost.startup = pa->cost.startup;
+        nl->cost.total =
+            pa->cost.total + pb->cost.total + mat.total +
+            rescans * rescan_cost +
+            pa->rows * pb->rows * model.params().cpu_operator_cost +
+            model.OutputCost(rows_out);
+        nl->order = pa->order;
+        nl->outer = pa;
+        nl->inner = pb;
+        nl->join_preds.push_back(connecting[0]->pred);
+        nl->leaves = MergeLeaves(pa->leaves, pb->leaves);
+        Add(cell, std::move(nl));
+      }
+    }
+  }
+}
+
+StatusOr<std::vector<PathPtr>> JoinPlanner::Run() {
+  const int n = ctx_->NumRels();
+  for (int pos = 0; pos < n; ++pos) {
+    cells_[RelSet::Single(pos).bits()] = MakeBaseCell(pos);
+  }
+  if (n == 1) return cells_[RelSet::Single(0).bits()].paths;
+
+  const uint64_t full = RelSet::FirstN(n).bits();
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    const RelSet s(mask);
+    Cell cell;
+    cell.rows = ctx_->RowsOfSet(s);
+    cell.width = ctx_->WidthOfSet(s);
+    // Enumerate partitions; fixing the lowest bit in `a` halves the
+    // enumeration, and MakeJoins is called for both role assignments.
+    const uint64_t lowest = mask & (~mask + 1);
+    for (uint64_t sub = (mask - 1) & mask; sub != 0;
+         sub = (sub - 1) & mask) {
+      if ((sub & lowest) == 0) continue;
+      const uint64_t other = mask ^ sub;
+      if (other == 0) continue;
+      auto it_a = cells_.find(sub);
+      auto it_b = cells_.find(other);
+      if (it_a == cells_.end() || it_b == cells_.end()) continue;
+      MakeJoins(&cell, s, it_a->second, RelSet(sub), it_b->second,
+                RelSet(other));
+      MakeJoins(&cell, s, it_b->second, RelSet(other), it_a->second,
+                RelSet(sub));
+    }
+    if (!cell.paths.empty()) {
+      FinalizeCell(&cell);
+      cells_[mask] = std::move(cell);
+    }
+  }
+  auto it = cells_.find(full);
+  if (it == cells_.end() || it->second.paths.empty()) {
+    return Status::InvalidArgument(
+        "query's join graph is disconnected (cross products unsupported)");
+  }
+  return it->second.paths;
+}
+
+}  // namespace pinum

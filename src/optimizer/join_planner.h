@@ -1,0 +1,83 @@
+// System-R / PostgreSQL style dynamic-programming join planner
+// (the Join Planner box of Figure 2).
+//
+// Two pruning regimes:
+//  - standard: PostgreSQL add_path semantics — keep the Pareto set over
+//    (total cost, startup cost, delivered order);
+//  - export (PINUM's Section V-D): keep one minimum-internal-cost path
+//    per (delivered order, leaf-requirement) key, then apply the
+//    dominance rule "if S_A is a (pointwise) subset of S_B and A's
+//    internal cost is no larger, drop B" when a cell completes.
+#ifndef PINUM_OPTIMIZER_JOIN_PLANNER_H_
+#define PINUM_OPTIMIZER_JOIN_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/path.h"
+#include "optimizer/planner_context.h"
+
+namespace pinum {
+
+/// Adds `path` to `paths` under add_path pruning semantics (see above).
+/// Exposed for the grouping planner, which finalizes plan lists the same
+/// way.
+void AddPath(std::vector<PathPtr>* paths, PathPtr path,
+             bool preserve_ioc_diversity);
+
+/// True if `a` dominates `b` under the active mode's rule.
+bool PathDominates(const Path& a, const Path& b, bool preserve_ioc_diversity);
+
+/// Removes every path dominated by another (export-mode rule); used once
+/// per completed DP cell and on the finalized plan list.
+void DominancePrune(std::vector<PathPtr>* paths);
+
+/// Bottom-up join enumeration over connected subsets.
+class JoinPlanner {
+ public:
+  explicit JoinPlanner(const PlannerContext* ctx) : ctx_(ctx) {}
+
+  /// Returns the top-level path list (all tables joined). With the
+  /// export_all_plans hook, the list holds one optimal plan per useful
+  /// interesting-order combination; otherwise it is the usual small
+  /// Pareto set over (cost, order).
+  StatusOr<std::vector<PathPtr>> Run();
+
+  /// Number of paths offered to the planner (a planning-effort proxy).
+  int64_t paths_considered() const { return paths_considered_; }
+
+ private:
+  struct Cell {
+    double rows = 0;
+    double width = 0;
+    std::vector<PathPtr> paths;
+    /// Export mode: RequirementOrderKey -> index into `paths`.
+    std::unordered_map<std::string, size_t> by_key;
+  };
+
+  /// Builds the single-relation cell for table position `pos`.
+  Cell MakeBaseCell(int pos);
+
+  /// Generates join paths for target set `s` from the (outer=a, inner=b)
+  /// partition and adds them to `cell`.
+  void MakeJoins(Cell* cell, RelSet s, const Cell& outer_cell, RelSet a,
+                 const Cell& inner_cell, RelSet b);
+
+  /// Returns `path` if it already delivers `col` order, else a Sort.
+  PathPtr EnsureSorted(const PathPtr& path, ColumnRef col);
+
+  void Add(Cell* cell, PathPtr path);
+
+  /// Export mode: cross-key dominance prune once the cell is complete.
+  void FinalizeCell(Cell* cell);
+
+  const PlannerContext* ctx_;
+  std::unordered_map<uint64_t, Cell> cells_;
+  int64_t paths_considered_ = 0;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_OPTIMIZER_JOIN_PLANNER_H_

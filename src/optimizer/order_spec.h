@@ -1,0 +1,42 @@
+// Sort-order bookkeeping (PostgreSQL "pathkeys").
+#ifndef PINUM_OPTIMIZER_ORDER_SPEC_H_
+#define PINUM_OPTIMIZER_ORDER_SPEC_H_
+
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace pinum {
+
+/// The sort order a path delivers (or a consumer requires): a sequence of
+/// columns, major first. Empty = unordered / no requirement.
+struct OrderSpec {
+  std::vector<ColumnRef> columns;
+
+  static OrderSpec None() { return OrderSpec{}; }
+  static OrderSpec Single(ColumnRef c) { return OrderSpec{{c}}; }
+
+  bool empty() const { return columns.empty(); }
+
+  /// True if a stream ordered by *this* satisfies `required`
+  /// (i.e. `required` is a prefix of this order).
+  bool Satisfies(const OrderSpec& required) const {
+    if (required.columns.size() > columns.size()) return false;
+    for (size_t i = 0; i < required.columns.size(); ++i) {
+      if (!(columns[i] == required.columns[i])) return false;
+    }
+    return true;
+  }
+
+  /// The leading column, or an invalid ref when unordered — the paper's
+  /// single-column notion of an interesting order.
+  ColumnRef Leading() const {
+    return columns.empty() ? ColumnRef{} : columns[0];
+  }
+
+  bool operator==(const OrderSpec&) const = default;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_OPTIMIZER_ORDER_SPEC_H_

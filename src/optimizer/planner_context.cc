@@ -1,0 +1,62 @@
+#include "optimizer/planner_context.h"
+
+#include <algorithm>
+
+namespace pinum {
+
+double PlannerContext::RowsOfSet(RelSet s) const {
+  double rows = 1.0;
+  s.ForEach([&](int pos) {
+    rows *= rels[static_cast<size_t>(pos)].filtered_rows;
+  });
+  for (const auto& p : preds) {
+    if (p.Within(s)) rows *= p.selectivity;
+  }
+  return std::max(1.0, rows);
+}
+
+double PlannerContext::WidthOfSet(RelSet s) const {
+  double width = 0;
+  s.ForEach([&](int pos) {
+    width += rels[static_cast<size_t>(pos)].needed_width;
+  });
+  return std::max(8.0, width);
+}
+
+StatusOr<PlannerContext> BuildPlannerContext(const Query& query,
+                                             const Catalog& catalog,
+                                             const StatsCatalog& stats,
+                                             const PlannerKnobs& knobs) {
+  PlannerContext ctx;
+  ctx.query = &query;
+  ctx.catalog = &catalog;
+  ctx.stats = &stats;
+  ctx.model = CostModel(knobs.cost);
+  ctx.knobs = knobs;
+  if (query.tables.size() > 63) {
+    return Status::InvalidArgument("too many tables in FROM (max 63)");
+  }
+  ctx.rels.reserve(query.tables.size());
+  for (int pos = 0; pos < static_cast<int>(query.tables.size()); ++pos) {
+    PINUM_ASSIGN_OR_RETURN(
+        TableAccessInfo info,
+        BuildTableAccessInfo(query, pos, catalog, stats, ctx.model));
+    ctx.rels.push_back(std::move(info));
+  }
+  for (const auto& j : query.joins) {
+    JoinPredInfo info;
+    info.pred = j;
+    info.left_pos = query.PosOfTable(j.left.table);
+    info.right_pos = query.PosOfTable(j.right.table);
+    const ColumnStats* ls = stats.FindColumn(j.left);
+    const ColumnStats* rs = stats.FindColumn(j.right);
+    if (ls == nullptr || rs == nullptr) {
+      return Status::NotFound("missing join column statistics");
+    }
+    info.selectivity = EquiJoinSelectivity(*ls, *rs);
+    ctx.preds.push_back(info);
+  }
+  return ctx;
+}
+
+}  // namespace pinum

@@ -1,0 +1,64 @@
+// Shared planning state: per-relation access info, join predicate
+// selectivities, and the cost model.
+#ifndef PINUM_OPTIMIZER_PLANNER_CONTEXT_H_
+#define PINUM_OPTIMIZER_PLANNER_CONTEXT_H_
+
+#include <vector>
+
+#include "common/bitset64.h"
+#include "optimizer/knobs.h"
+#include "optimizer/scan_builder.h"
+#include "query/query.h"
+
+namespace pinum {
+
+/// A join predicate annotated with planner information.
+struct JoinPredInfo {
+  JoinPredicate pred;
+  double selectivity = 1.0;
+  int left_pos = -1;
+  int right_pos = -1;
+
+  /// True when the predicate connects the two (disjoint) relation sets.
+  bool Connects(RelSet a, RelSet b) const {
+    return (a.Contains(left_pos) && b.Contains(right_pos)) ||
+           (a.Contains(right_pos) && b.Contains(left_pos));
+  }
+  /// True when both sides lie inside `s`.
+  bool Within(RelSet s) const {
+    return s.Contains(left_pos) && s.Contains(right_pos);
+  }
+};
+
+/// Everything the join and grouping planners need, precomputed once per
+/// optimizer call.
+struct PlannerContext {
+  const Query* query = nullptr;
+  const Catalog* catalog = nullptr;
+  const StatsCatalog* stats = nullptr;
+  CostModel model;
+  PlannerKnobs knobs;
+  /// Per query-table-position access info.
+  std::vector<TableAccessInfo> rels;
+  std::vector<JoinPredInfo> preds;
+
+  int NumRels() const { return static_cast<int>(rels.size()); }
+
+  /// Cardinality of the join over relation set `s`: product of filtered
+  /// base cardinalities times the selectivity of every join predicate
+  /// internal to `s` (System-R's independence assumption).
+  double RowsOfSet(RelSet s) const;
+
+  /// Output row width of the join over `s`.
+  double WidthOfSet(RelSet s) const;
+};
+
+/// Builds the context (scan options per table, join selectivities).
+StatusOr<PlannerContext> BuildPlannerContext(const Query& query,
+                                             const Catalog& catalog,
+                                             const StatsCatalog& stats,
+                                             const PlannerKnobs& knobs);
+
+}  // namespace pinum
+
+#endif  // PINUM_OPTIMIZER_PLANNER_CONTEXT_H_

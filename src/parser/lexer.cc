@@ -1,0 +1,92 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace pinum {
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      t.kind = TokenKind::kIdent;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      t.kind = TokenKind::kNumber;
+      t.text = sql.substr(i, j - i);
+      t.number = std::stoll(t.text);
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          t.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case '.':
+          t.kind = TokenKind::kDot;
+          ++i;
+          break;
+        case '(':
+          t.kind = TokenKind::kLParen;
+          ++i;
+          break;
+        case ')':
+          t.kind = TokenKind::kRParen;
+          ++i;
+          break;
+        case '=':
+          t.kind = TokenKind::kEq;
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.kind = TokenKind::kLe;
+            i += 2;
+          } else {
+            t.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            t.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument("unexpected character '" +
+                                         std::string(1, c) + "' at offset " +
+                                         std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace pinum

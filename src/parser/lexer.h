@@ -1,0 +1,43 @@
+// Tokenizer for the SQL subset.
+#ifndef PINUM_PARSER_LEXER_H_
+#define PINUM_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pinum {
+
+/// Token categories.
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+/// One lexed token.
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier text, uppercased for keyword checks
+  int64_t number = 0;
+  size_t offset = 0;  // byte offset, for error messages
+};
+
+/// Splits `sql` into tokens (kEnd-terminated). Identifiers keep their
+/// original text in `text`; keyword comparison is case-insensitive.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace pinum
+
+#endif  // PINUM_PARSER_LEXER_H_

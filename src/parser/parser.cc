@@ -1,0 +1,299 @@
+#include "parser/parser.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "parser/lexer.h"
+
+namespace pinum {
+
+namespace {
+
+/// Recursive-descent parser state.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog& catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  StatusOr<Query> Parse() {
+    PINUM_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    PINUM_RETURN_IF_ERROR(ParseSelectList());
+    PINUM_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PINUM_RETURN_IF_ERROR(ParseFromList());
+    PINUM_RETURN_IF_ERROR(ResolveSelectList());
+    if (TryKeyword("WHERE")) {
+      PINUM_RETURN_IF_ERROR(ParseWhere());
+    }
+    if (TryKeyword("GROUP")) {
+      PINUM_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PINUM_RETURN_IF_ERROR(ParseGroupBy());
+    }
+    if (TryKeyword("ORDER")) {
+      PINUM_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PINUM_RETURN_IF_ERROR(ParseOrderBy());
+    }
+    if (Cur().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query_;
+  }
+
+ private:
+  struct PendingColumn {
+    std::string table;  // may be empty (unqualified)
+    std::string column;
+    AggKind agg = AggKind::kNone;
+  };
+
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Cur().offset));
+  }
+
+  bool IsKeyword(const Token& t, const char* kw) const {
+    return t.kind == TokenKind::kIdent && AsciiUpper(t.text) == kw;
+  }
+
+  bool TryKeyword(const char* kw) {
+    if (IsKeyword(Cur(), kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!TryKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<PendingColumn> ParseColumn() {
+    PendingColumn col;
+    if (Cur().kind != TokenKind::kIdent) return Error("expected column name");
+    std::string first = Cur().text;
+    Advance();
+    if (Cur().kind == TokenKind::kDot) {
+      Advance();
+      if (Cur().kind != TokenKind::kIdent) {
+        return Error("expected column after '.'");
+      }
+      col.table = first;
+      col.column = Cur().text;
+      Advance();
+    } else {
+      col.column = first;
+    }
+    return col;
+  }
+
+  Status ParseSelectList() {
+    while (true) {
+      PendingColumn col;
+      const std::string upper =
+          Cur().kind == TokenKind::kIdent ? AsciiUpper(Cur().text) : "";
+      AggKind agg = AggKind::kNone;
+      if (upper == "SUM") {
+        agg = AggKind::kSum;
+      } else if (upper == "COUNT") {
+        agg = AggKind::kCount;
+      } else if (upper == "MIN") {
+        agg = AggKind::kMin;
+      } else if (upper == "MAX") {
+        agg = AggKind::kMax;
+      }
+      if (agg != AggKind::kNone &&
+          tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+        Advance();  // function name
+        Advance();  // '('
+        PINUM_ASSIGN_OR_RETURN(col, ParseColumn());
+        col.agg = agg;
+        if (Cur().kind != TokenKind::kRParen) return Error("expected ')'");
+        Advance();
+      } else {
+        PINUM_ASSIGN_OR_RETURN(col, ParseColumn());
+      }
+      pending_select_.push_back(col);
+      if (Cur().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList() {
+    while (true) {
+      if (Cur().kind != TokenKind::kIdent) return Error("expected table name");
+      const TableDef* t = catalog_.FindTableByName(Cur().text);
+      if (t == nullptr) {
+        return Status::NotFound("unknown table '" + Cur().text + "'");
+      }
+      query_.tables.push_back(t->id);
+      Advance();
+      if (Cur().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  /// Resolves a pending column against the FROM tables.
+  StatusOr<ColumnRef> Resolve(const PendingColumn& col) const {
+    if (!col.table.empty()) {
+      const TableDef* t = catalog_.FindTableByName(col.table);
+      if (t == nullptr || query_.PosOfTable(t->id) < 0) {
+        return Status::NotFound("table '" + col.table + "' not in FROM");
+      }
+      const ColumnIdx c = t->FindColumn(col.column);
+      if (c < 0) {
+        return Status::NotFound("unknown column '" + col.table + "." +
+                                col.column + "'");
+      }
+      return ColumnRef{t->id, c};
+    }
+    // Unqualified: must match exactly one FROM table.
+    ColumnRef found;
+    int matches = 0;
+    for (TableId tid : query_.tables) {
+      const TableDef* t = catalog_.FindTable(tid);
+      const ColumnIdx c = t->FindColumn(col.column);
+      if (c >= 0) {
+        found = {tid, c};
+        ++matches;
+      }
+    }
+    if (matches == 0) {
+      return Status::NotFound("unknown column '" + col.column + "'");
+    }
+    if (matches > 1) {
+      return Status::InvalidArgument("ambiguous column '" + col.column + "'");
+    }
+    return found;
+  }
+
+  Status ResolveSelectList() {
+    for (const auto& col : pending_select_) {
+      PINUM_ASSIGN_OR_RETURN(ColumnRef ref, Resolve(col));
+      query_.select.push_back(ref);
+      if (col.agg != AggKind::kNone) {
+        if (query_.aggregate != AggKind::kNone &&
+            query_.aggregate != col.agg) {
+          return Status::Unimplemented(
+              "mixed aggregate functions are not supported");
+        }
+        query_.aggregate = col.agg;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhere() {
+    while (true) {
+      PINUM_ASSIGN_OR_RETURN(PendingColumn lhs_col, ParseColumn());
+      PINUM_ASSIGN_OR_RETURN(ColumnRef lhs, Resolve(lhs_col));
+      if (IsKeyword(Cur(), "BETWEEN")) {
+        Advance();
+        if (Cur().kind != TokenKind::kNumber) return Error("expected number");
+        const Value lo = Cur().number;
+        Advance();
+        PINUM_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        if (Cur().kind != TokenKind::kNumber) return Error("expected number");
+        const Value hi = Cur().number;
+        Advance();
+        query_.filters.push_back({lhs, CompareOp::kGe, lo});
+        query_.filters.push_back({lhs, CompareOp::kLe, hi});
+      } else {
+        CompareOp op;
+        switch (Cur().kind) {
+          case TokenKind::kEq:
+            op = CompareOp::kEq;
+            break;
+          case TokenKind::kLt:
+            op = CompareOp::kLt;
+            break;
+          case TokenKind::kLe:
+            op = CompareOp::kLe;
+            break;
+          case TokenKind::kGt:
+            op = CompareOp::kGt;
+            break;
+          case TokenKind::kGe:
+            op = CompareOp::kGe;
+            break;
+          default:
+            return Error("expected comparison operator");
+        }
+        Advance();
+        if (Cur().kind == TokenKind::kNumber) {
+          query_.filters.push_back({lhs, op, Cur().number});
+          Advance();
+        } else if (Cur().kind == TokenKind::kIdent) {
+          if (op != CompareOp::kEq) {
+            return Error("only equality joins are supported");
+          }
+          PINUM_ASSIGN_OR_RETURN(PendingColumn rhs_col, ParseColumn());
+          PINUM_ASSIGN_OR_RETURN(ColumnRef rhs, Resolve(rhs_col));
+          query_.joins.push_back({lhs, rhs});
+        } else {
+          return Error("expected constant or column");
+        }
+      }
+      if (!TryKeyword("AND")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupBy() {
+    while (true) {
+      PINUM_ASSIGN_OR_RETURN(PendingColumn col, ParseColumn());
+      PINUM_ASSIGN_OR_RETURN(ColumnRef ref, Resolve(col));
+      query_.group_by.push_back(ref);
+      if (Cur().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy() {
+    while (true) {
+      PINUM_ASSIGN_OR_RETURN(PendingColumn col, ParseColumn());
+      PINUM_ASSIGN_OR_RETURN(ColumnRef ref, Resolve(col));
+      bool asc = true;
+      if (TryKeyword("DESC")) {
+        asc = false;
+      } else {
+        (void)TryKeyword("ASC");
+      }
+      query_.order_by.push_back({ref, asc});
+      if (Cur().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  const Catalog& catalog_;
+  size_t pos_ = 0;
+  Query query_;
+  std::vector<PendingColumn> pending_select_;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseSql(const std::string& sql, const Catalog& catalog) {
+  PINUM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), catalog);
+  PINUM_ASSIGN_OR_RETURN(Query query, parser.Parse());
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no FROM tables");
+  }
+  if (query.select.empty()) {
+    return Status::InvalidArgument("query has empty select list");
+  }
+  query.name = "parsed";
+  return query;
+}
+
+}  // namespace pinum

@@ -1,0 +1,32 @@
+// Recursive-descent parser for the SQL subset the engine supports:
+//
+//   SELECT item (',' item)*
+//   FROM table (',' table)*
+//   [WHERE pred (AND pred)*]
+//   [GROUP BY col (',' col)*]
+//   [ORDER BY col [ASC|DESC] (',' col [ASC|DESC])*]
+//
+//   item  := col | SUM '(' col ')' | COUNT '(' col ')' | MIN... | MAX...
+//   pred  := col '=' col | col op const | col BETWEEN const AND const
+//   col   := [table '.'] name
+//   op    := '=' | '<' | '<=' | '>' | '>='
+//
+// Names are resolved against the catalog; unqualified columns must be
+// unambiguous across the FROM tables.
+#ifndef PINUM_PARSER_PARSER_H_
+#define PINUM_PARSER_PARSER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace pinum {
+
+/// Parses `sql` into a Query, resolving names against `catalog`.
+StatusOr<Query> ParseSql(const std::string& sql, const Catalog& catalog);
+
+}  // namespace pinum
+
+#endif  // PINUM_PARSER_PARSER_H_

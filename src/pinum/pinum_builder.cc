@@ -1,0 +1,157 @@
+#include "pinum/pinum_builder.h"
+
+#include <string>
+
+#include "common/stopwatch.h"
+#include "inum/inum_builder.h"
+#include "optimizer/interesting_orders.h"
+#include "optimizer/optimizer.h"
+#include "whatif/whatif_index.h"
+
+namespace pinum {
+
+namespace {
+
+/// Builds the all-interesting-orders IOC: every table's slot filled is
+/// not expressible as a single Ioc (one order per table), so instead we
+/// synthesize one covering index per (table, interesting order) pair.
+StatusOr<Catalog> CatalogCoveringAllOrders(const Catalog& base,
+                                           const Query& query,
+                                           const StatsCatalog& stats) {
+  const auto per_table = PerTableInterestingOrders(query);
+  std::vector<IndexDef> covering;
+  for (size_t pos = 0; pos < per_table.size(); ++pos) {
+    for (const ColumnRef& col : per_table[pos]) {
+      // Skip when a visible index already covers this order.
+      bool covered = false;
+      for (const IndexDef* idx : base.IndexesOnTable(col.table)) {
+        if (idx->leading_column() == col.column) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      const TableDef* table = base.FindTable(col.table);
+      const TableStats* tstats = stats.Find(col.table);
+      if (table == nullptr || tstats == nullptr) {
+        return Status::NotFound("missing table/stats while covering orders");
+      }
+      covering.push_back(MakeWhatIfIndex(
+          "__covall_" + query.name + "_" + std::to_string(pos) + "_" +
+              std::to_string(col.column),
+          *table, {col.column}, tstats->row_count));
+    }
+  }
+  return CatalogWithIndexes(base, covering, nullptr);
+}
+
+}  // namespace
+
+StatusOr<InumCache> BuildInumCachePinum(const Query& query,
+                                        const Catalog& base_catalog,
+                                        const CandidateSet& candidates,
+                                        const StatsCatalog& stats,
+                                        const PinumBuildOptions& options,
+                                        PinumBuildStats* build_stats) {
+  InumCache cache;
+  PinumBuildStats local;
+  local.iocs_total = CountIocs(PerTableInterestingOrders(query));
+
+  // ---- Plan cache: one hooked call with NLJ removed (Section V-D). ----
+  Stopwatch plan_timer;
+  {
+    PINUM_ASSIGN_OR_RETURN(
+        Catalog covering,
+        CatalogCoveringAllOrders(base_catalog, query, stats));
+    Optimizer opt(&covering, &stats);
+    PlannerKnobs knobs = options.base_knobs;
+    knobs.enable_nestloop = false;
+    knobs.hooks.export_all_plans = true;
+    knobs.hooks.keep_all_access_paths = false;
+    PINUM_ASSIGN_OR_RETURN(OptimizeResult result, opt.Optimize(query, knobs));
+    for (const PathPtr& plan : result.exported) {
+      cache.AddPlan(*plan, covering, !query.order_by.empty());
+    }
+    local.plans_exported += static_cast<int64_t>(result.exported.size());
+    ++local.plan_cache_calls;
+  }
+
+  // ---- NLJ plans: extreme-access-cost calls (Section V-D). The calls
+  // cache their *winning* plan; the nlj_export_all ablation exports every
+  // per-IOC NLJ plan instead. ----
+  if (options.base_knobs.enable_nestloop) {
+    for (int call = 0; call < options.nlj_extreme_calls && call < 2; ++call) {
+      // call 0: lowest access costs (all candidates visible). call 1:
+      // highest access costs (no candidate indexes). Unlike the export
+      // call, no covering-order indexes are synthesized here: these calls
+      // cache winner plans, and artificial ordered access would bias the
+      // winners toward leaf requirements real configurations cannot meet.
+      const Catalog& covering =
+          call == 0 ? candidates.universe : base_catalog;
+      Optimizer opt(&covering, &stats);
+      PlannerKnobs knobs = options.base_knobs;
+      knobs.enable_nestloop = true;
+      knobs.hooks.export_all_plans = options.nlj_export_all;
+      knobs.hooks.keep_all_access_paths = false;
+      PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
+                             opt.Optimize(query, knobs));
+      for (const PathPtr& plan : result.exported) {
+        cache.AddPlan(*plan, covering, !query.order_by.empty());
+      }
+      local.plans_exported += static_cast<int64_t>(result.exported.size());
+      ++local.plan_cache_calls;
+    }
+
+    // Probe sweep (nlj_extreme_calls >= 3): one winner-only call per join
+    // predicate, with only the candidates led by that predicate's columns
+    // visible. Index-nested-loop shapes that lose at both global extremes
+    // — cheap probes on one join column but no cheap range scans — win
+    // here and get cached. Calls stay linear in the number of joins,
+    // never in the IOC count.
+    if (options.nlj_extreme_calls >= 3) {
+      for (const JoinPredicate& jp : query.joins) {
+        std::vector<IndexId> visible;
+        for (IndexId id : candidates.candidate_ids) {
+          const IndexDef* def = candidates.universe.FindIndex(id);
+          if (def == nullptr || query.PosOfTable(def->table) < 0) continue;
+          const ColumnRef lead{def->table, def->leading_column()};
+          if (lead == jp.left || lead == jp.right) visible.push_back(id);
+        }
+        if (visible.empty()) continue;
+        const Catalog covering = candidates.Subset(visible);
+        Optimizer opt(&covering, &stats);
+        PlannerKnobs knobs = options.base_knobs;
+        knobs.enable_nestloop = true;
+        knobs.hooks = PlannerHooks{};
+        PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
+                               opt.Optimize(query, knobs));
+        cache.AddPlan(*result.best, covering, !query.order_by.empty());
+        ++local.plans_exported;
+        ++local.plan_cache_calls;
+      }
+    }
+  }
+  local.plan_cache_ms = plan_timer.ElapsedMillis();
+
+  // ---- Access costs: ONE call with every candidate visible and the
+  // keep_all_access_paths hook (Section V-C). ----
+  Stopwatch access_timer;
+  {
+    Optimizer opt(&candidates.universe, &stats);
+    PlannerKnobs knobs = options.base_knobs;
+    knobs.hooks.keep_all_access_paths = true;
+    knobs.hooks.export_all_plans = false;
+    PINUM_ASSIGN_OR_RETURN(OptimizeResult result, opt.Optimize(query, knobs));
+    for (const auto& info : result.access_info) {
+      cache.mutable_access()->Absorb(info);
+    }
+    ++local.access_cost_calls;
+  }
+  local.access_cost_ms = access_timer.ElapsedMillis();
+
+  local.plans_cached = cache.NumPlans();
+  if (build_stats != nullptr) *build_stats = local;
+  return cache;
+}
+
+}  // namespace pinum

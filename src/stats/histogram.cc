@@ -1,0 +1,68 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pinum {
+
+Histogram Histogram::FromData(std::vector<Value> data, int num_buckets) {
+  Histogram h;
+  if (data.empty() || num_buckets < 1) return h;
+  std::sort(data.begin(), data.end());
+  const size_t n = data.size();
+  const int buckets =
+      std::min<int>(num_buckets, static_cast<int>(n));
+  h.bounds_.reserve(static_cast<size_t>(buckets) + 1);
+  for (int i = 0; i <= buckets; ++i) {
+    // Index of the i-th equi-depth boundary.
+    size_t idx = static_cast<size_t>(
+        std::llround(static_cast<double>(i) * static_cast<double>(n - 1) /
+                     buckets));
+    h.bounds_.push_back(data[idx]);
+  }
+  return h;
+}
+
+Histogram Histogram::Uniform(Value min, Value max, int num_buckets) {
+  Histogram h;
+  if (max < min || num_buckets < 1) return h;
+  h.bounds_.reserve(static_cast<size_t>(num_buckets) + 1);
+  const double span = static_cast<double>(max) - static_cast<double>(min);
+  for (int i = 0; i <= num_buckets; ++i) {
+    h.bounds_.push_back(
+        min + static_cast<Value>(std::llround(span * i / num_buckets)));
+  }
+  return h;
+}
+
+double Histogram::FractionBelow(Value v, bool inclusive) const {
+  if (empty()) return 0.5;  // know-nothing default
+  if (v < bounds_.front() || (!inclusive && v == bounds_.front())) return 0.0;
+  if (v > bounds_.back() || (inclusive && v == bounds_.back())) return 1.0;
+  // Find the bucket containing v and interpolate linearly within it,
+  // exactly as PostgreSQL's ineq_histogram_selectivity does.
+  const int nb = num_buckets();
+  for (int i = 0; i < nb; ++i) {
+    const Value lo = bounds_[static_cast<size_t>(i)];
+    const Value hi = bounds_[static_cast<size_t>(i) + 1];
+    if (v >= lo && (v < hi || (i == nb - 1 && v <= hi))) {
+      double frac_in_bucket = 0.5;
+      if (hi > lo) {
+        frac_in_bucket = (static_cast<double>(v) - static_cast<double>(lo)) /
+                         (static_cast<double>(hi) - static_cast<double>(lo));
+      }
+      return (i + frac_in_bucket) / nb;
+    }
+  }
+  return 1.0;
+}
+
+double Histogram::FractionBetween(Value lo, Value hi) const {
+  if (hi < lo) return 0.0;
+  // P(lo <= x <= hi) = P(x <= hi) - P(x < lo).
+  const double below_hi = FractionBelow(hi, /*inclusive=*/true);
+  const double below_lo = FractionBelow(lo, /*inclusive=*/false);
+  return std::max(0.0, below_hi - below_lo);
+}
+
+}  // namespace pinum

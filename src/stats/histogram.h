@@ -1,0 +1,51 @@
+// Equi-depth histograms, the statistic PostgreSQL keeps per column
+// (pg_stats.histogram_bounds) and that the optimizer's selectivity
+// estimation consumes.
+#ifndef PINUM_STATS_HISTOGRAM_H_
+#define PINUM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace pinum {
+
+/// Equi-depth (equal-frequency) histogram over int64 values.
+///
+/// `bounds_` holds nbuckets+1 boundary values; each bucket covers the
+/// half-open range [bounds_[i], bounds_[i+1]) and contains ~1/nbuckets of
+/// the rows.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds an equi-depth histogram from (a copy of) the data.
+  static Histogram FromData(std::vector<Value> data, int num_buckets = 100);
+
+  /// Builds a histogram describing a uniform distribution over
+  /// [min, max] without materializing data — used for paper-scale
+  /// synthetic statistics.
+  static Histogram Uniform(Value min, Value max, int num_buckets = 100);
+
+  bool empty() const { return bounds_.size() < 2; }
+  int num_buckets() const {
+    return empty() ? 0 : static_cast<int>(bounds_.size()) - 1;
+  }
+  Value min() const { return bounds_.front(); }
+  Value max() const { return bounds_.back(); }
+  const std::vector<Value>& bounds() const { return bounds_; }
+
+  /// Estimated fraction of rows with value < v (v <= with inclusive=true).
+  double FractionBelow(Value v, bool inclusive) const;
+
+  /// Estimated fraction of rows in [lo, hi] (both inclusive).
+  double FractionBetween(Value lo, Value hi) const;
+
+ private:
+  std::vector<Value> bounds_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_STATS_HISTOGRAM_H_

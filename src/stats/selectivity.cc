@@ -1,0 +1,68 @@
+#include "stats/selectivity.h"
+
+#include <cmath>
+
+namespace pinum {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+double RestrictionSelectivity(const ColumnStats& stats, CompareOp op,
+                              Value constant) {
+  const double kDefaultSel = 1.0 / 3.0;  // pg's DEFAULT_INEQ_SEL
+  switch (op) {
+    case CompareOp::kEq: {
+      if (stats.n_distinct <= 0) return 0.005;  // pg DEFAULT_EQ_SEL ballpark
+      if (constant < stats.min || constant > stats.max) return 0.0;
+      return 1.0 / stats.n_distinct;
+    }
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      if (!stats.histogram.empty()) {
+        return stats.histogram.FractionBelow(constant,
+                                             op == CompareOp::kLe);
+      }
+      if (stats.max > stats.min) {
+        double f = (static_cast<double>(constant) - stats.min) /
+                   (static_cast<double>(stats.max) - stats.min);
+        return std::clamp(f, 0.0, 1.0);
+      }
+      return kDefaultSel;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      const CompareOp inv =
+          (op == CompareOp::kGt) ? CompareOp::kLe : CompareOp::kLt;
+      return 1.0 - RestrictionSelectivity(stats, inv, constant);
+    }
+  }
+  return kDefaultSel;
+}
+
+double EquiJoinSelectivity(const ColumnStats& left, const ColumnStats& right) {
+  const double nd = std::max({left.n_distinct, right.n_distinct, 1.0});
+  return 1.0 / nd;
+}
+
+double DistinctAfterRestriction(double n_distinct, double selectivity,
+                                double original_rows) {
+  const double surviving = selectivity * original_rows;
+  // With uniform data, restricting rows cannot reveal more distinct values
+  // than rows; PostgreSQL scales n_distinct toward the surviving rows.
+  return std::max(1.0, std::min(n_distinct, surviving));
+}
+
+}  // namespace pinum

@@ -1,0 +1,36 @@
+// Selectivity estimation: the System-R / PostgreSQL formulas the
+// optimizer uses to size intermediate results.
+#ifndef PINUM_STATS_SELECTIVITY_H_
+#define PINUM_STATS_SELECTIVITY_H_
+
+#include <algorithm>
+
+#include "stats/table_stats.h"
+
+namespace pinum {
+
+/// Comparison operators supported in WHERE clauses.
+enum class CompareOp { kEq, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// Selectivity of `column <op> constant`.
+///
+/// Equality uses 1/n_distinct (uniformity); inequalities use the
+/// histogram, falling back to range interpolation over [min, max].
+double RestrictionSelectivity(const ColumnStats& stats, CompareOp op,
+                              Value constant);
+
+/// Selectivity of `left = right` equijoin over two columns:
+/// 1 / max(nd_left, nd_right)  (PostgreSQL's eqjoinsel without MCVs).
+double EquiJoinSelectivity(const ColumnStats& left, const ColumnStats& right);
+
+/// Number of distinct values among `rows` rows drawn from a domain with
+/// `n_distinct` values (used to size group-by outputs): Yao's formula
+/// approximated as min(n_distinct, rows).
+double DistinctAfterRestriction(double n_distinct, double selectivity,
+                                double original_rows);
+
+}  // namespace pinum
+
+#endif  // PINUM_STATS_SELECTIVITY_H_

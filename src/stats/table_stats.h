@@ -1,0 +1,76 @@
+// Per-table and per-column statistics used by the cost model.
+#ifndef PINUM_STATS_TABLE_STATS_H_
+#define PINUM_STATS_TABLE_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "stats/histogram.h"
+
+namespace pinum {
+
+/// Statistics for one column (pg_statistic analogue).
+struct ColumnStats {
+  /// Number of distinct values.
+  double n_distinct = 1;
+  Value min = 0;
+  Value max = 0;
+  /// Physical-vs-logical order correlation in [-1, 1]; 1 means the heap is
+  /// stored in this column's order (drives index-scan IO interpolation).
+  double correlation = 0.0;
+  Histogram histogram;
+};
+
+/// Statistics for one table.
+struct TableStats {
+  double row_count = 0;
+  /// Heap pages, derived from row_count and tuple width.
+  double heap_pages = 1;
+  std::vector<ColumnStats> columns;
+
+  /// Computes heap_pages from the table definition and row_count.
+  void RecomputePages(const TableDef& def) {
+    const double rows_per_page =
+        std::floor(static_cast<double>(PageLayout::UsableBytes()) *
+                   PageLayout::kHeapFillFactor / def.TupleWidth());
+    heap_pages = std::max(1.0, std::ceil(row_count / rows_per_page));
+  }
+};
+
+/// Statistics registry, keyed by table id.
+///
+/// Kept separate from Catalog so that paper-scale (10 GB-equivalent)
+/// statistics can drive the optimizer without materialized data.
+class StatsCatalog {
+ public:
+  /// Installs stats for a table (replacing existing ones).
+  void Put(TableId table, TableStats stats) {
+    stats_[table] = std::move(stats);
+  }
+
+  const TableStats* Find(TableId table) const {
+    auto it = stats_.find(table);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+  /// Convenience: stats for one column; nullptr when absent.
+  const ColumnStats* FindColumn(ColumnRef col) const {
+    const TableStats* t = Find(col.table);
+    if (t == nullptr || col.column < 0 ||
+        static_cast<size_t>(col.column) >= t->columns.size()) {
+      return nullptr;
+    }
+    return &t->columns[static_cast<size_t>(col.column)];
+  }
+
+ private:
+  std::map<TableId, TableStats> stats_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_STATS_TABLE_STATS_H_

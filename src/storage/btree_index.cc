@@ -1,0 +1,82 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pinum {
+
+int64_t BtreeLeafPages(int64_t entries, int entry_width) {
+  if (entries <= 0) return 1;
+  const double usable = PageLayout::UsableBytes() * PageLayout::kBtreeFillFactor;
+  const int64_t per_page =
+      std::max<int64_t>(1, static_cast<int64_t>(usable / entry_width));
+  return (entries + per_page - 1) / per_page;
+}
+
+BtreeSize BtreeFullSize(int64_t entries, int entry_width) {
+  BtreeSize size;
+  size.leaf_pages = BtreeLeafPages(entries, entry_width);
+  size.total_pages = size.leaf_pages;
+  size.height = 0;
+  // Each internal level stores one downlink entry per child page. A
+  // downlink is a (separator key, child pointer) pair: key width plus a
+  // 6-byte child pointer, MAXALIGNed with index-tuple overhead.
+  const int downlink_width =
+      PageLayout::MaxAlign(entry_width - PageLayout::kIndexTupleOverhead + 6) +
+      PageLayout::kIndexTupleOverhead;
+  const double usable = PageLayout::UsableBytes() * PageLayout::kBtreeFillFactor;
+  const int64_t fanout =
+      std::max<int64_t>(2, static_cast<int64_t>(usable / downlink_width));
+  int64_t level_pages = size.leaf_pages;
+  while (level_pages > 1) {
+    level_pages = (level_pages + fanout - 1) / fanout;
+    size.total_pages += level_pages;
+    size.height += 1;
+  }
+  return size;
+}
+
+BTreeIndex::BTreeIndex(const IndexDef& def, const TableDef& table_def,
+                       const TableData& data)
+    : def_(def) {
+  const int64_t n = data.NumRows();
+  std::vector<RowIdx> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), RowIdx{0});
+  const auto& keys = def_.key_columns;
+  std::sort(order.begin(), order.end(), [&](RowIdx a, RowIdx b) {
+    for (ColumnIdx k : keys) {
+      const Value va = data.at(a, k);
+      const Value vb = data.at(b, k);
+      if (va != vb) return va < vb;
+    }
+    return a < b;  // stable tiebreak on heap position
+  });
+  rows_ = std::move(order);
+  leading_keys_.resize(rows_.size());
+  const ColumnIdx lead = def_.leading_column();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    leading_keys_[i] = data.at(rows_[i], lead);
+  }
+
+  const BtreeSize size = BtreeFullSize(n, def_.EntryWidth(table_def));
+  leaf_pages_ = size.leaf_pages;
+  total_pages_ = size.total_pages;
+  height_ = size.height;
+  def_.leaf_pages = leaf_pages_;
+  def_.total_pages = total_pages_;
+  def_.height = height_;
+}
+
+std::vector<RowIdx> BTreeIndex::RangeScan(Value lo, Value hi) const {
+  std::vector<RowIdx> out;
+  auto first = std::lower_bound(leading_keys_.begin(), leading_keys_.end(), lo);
+  auto last = std::upper_bound(first, leading_keys_.end(), hi);
+  const size_t begin = static_cast<size_t>(first - leading_keys_.begin());
+  const size_t end = static_cast<size_t>(last - leading_keys_.begin());
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) out.push_back(rows_[i]);
+  return out;
+}
+
+}  // namespace pinum

@@ -1,0 +1,81 @@
+// Real (materialized) B-tree index with faithful page accounting.
+//
+// The paper's what-if estimator computes only the *leaf* pages of an index
+// and "ignores the internal pages of the B-Tree index" (Section V-A); this
+// class computes both, so the Section VI-B experiment can compare
+// hypothetical sizes against real ones.
+#ifndef PINUM_STORAGE_BTREE_INDEX_H_
+#define PINUM_STORAGE_BTREE_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/table_data.h"
+
+namespace pinum {
+
+/// A built B-tree index: sorted (key, row) entries plus page statistics.
+class BTreeIndex {
+ public:
+  /// Builds the index over the given data. `def.key_columns` selects and
+  /// orders the key.
+  BTreeIndex(const IndexDef& def, const TableDef& table_def,
+             const TableData& data);
+
+  const IndexDef& def() const { return def_; }
+  int64_t leaf_pages() const { return leaf_pages_; }
+  int64_t total_pages() const { return total_pages_; }
+  int height() const { return height_; }
+  int64_t NumEntries() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Row ids whose leading key column lies in [lo, hi] (inclusive),
+  /// in key order.
+  std::vector<RowIdx> RangeScan(Value lo, Value hi) const;
+
+  /// Invokes `fn(row)` for each entry whose leading key equals `key`,
+  /// allocation-free (the executor's nested-loop probe path).
+  template <typename Fn>
+  void ProbeEqual(Value key, Fn fn) const {
+    auto first =
+        std::lower_bound(leading_keys_.begin(), leading_keys_.end(), key);
+    for (auto it = first; it != leading_keys_.end() && *it == key; ++it) {
+      fn(rows_[static_cast<size_t>(it - leading_keys_.begin())]);
+    }
+  }
+
+  /// All row ids in key order (full ordered scan).
+  const std::vector<RowIdx>& OrderedRows() const { return rows_; }
+
+  /// Leading-column key for the i-th entry in key order.
+  Value KeyAt(size_t i) const { return leading_keys_[i]; }
+
+ private:
+  IndexDef def_;
+  /// Leading key column value per entry, sorted (ties broken by the
+  /// remaining key columns during the build).
+  std::vector<Value> leading_keys_;
+  /// Heap row per entry, aligned with leading_keys_.
+  std::vector<RowIdx> rows_;
+  int64_t leaf_pages_ = 0;
+  int64_t total_pages_ = 0;
+  int height_ = 0;
+};
+
+/// Computes leaf page count for `entries` index entries of `entry_width`
+/// bytes — shared by the real build and the what-if estimator so the two
+/// differ only by internal pages, as in the paper.
+int64_t BtreeLeafPages(int64_t entries, int entry_width);
+
+/// Computes total pages (leaves + internal levels) and height.
+struct BtreeSize {
+  int64_t leaf_pages;
+  int64_t total_pages;
+  int height;
+};
+BtreeSize BtreeFullSize(int64_t entries, int entry_width);
+
+}  // namespace pinum
+
+#endif  // PINUM_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,131 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pinum {
+
+Status Database::CreateTableStorage(TableId table) {
+  const TableDef* def = catalog_.FindTable(table);
+  if (def == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(table));
+  }
+  if (data_.count(table) > 0) {
+    return Status::AlreadyExists("storage for table already exists");
+  }
+  data_[table] = std::make_unique<TableData>(*def);
+  return Status::OK();
+}
+
+TableData* Database::MutableData(TableId table) {
+  auto it = data_.find(table);
+  return it == data_.end() ? nullptr : it->second.get();
+}
+
+const TableData* Database::FindData(TableId table) const {
+  auto it = data_.find(table);
+  return it == data_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<IndexId> Database::BuildIndex(
+    const std::string& name, TableId table,
+    const std::vector<ColumnIdx>& key_columns) {
+  const TableDef* def = catalog_.FindTable(table);
+  if (def == nullptr) {
+    return Status::NotFound("no table with id " + std::to_string(table));
+  }
+  const TableData* data = FindData(table);
+  if (data == nullptr) {
+    return Status::InvalidArgument("table '" + def->name +
+                                   "' has no materialized data");
+  }
+  IndexDef idx;
+  idx.name = name;
+  idx.table = table;
+  idx.key_columns = key_columns;
+  idx.hypothetical = false;
+  PINUM_ASSIGN_OR_RETURN(IndexId id, catalog_.AddIndex(idx));
+  auto built =
+      std::make_unique<BTreeIndex>(*catalog_.FindIndex(id), *def, *data);
+  // Propagate true page counts into the catalog entry.
+  IndexDef* entry = catalog_.MutableIndex(id);
+  entry->leaf_pages = built->leaf_pages();
+  entry->total_pages = built->total_pages();
+  entry->height = built->height();
+  built_indexes_[id] = std::move(built);
+  return id;
+}
+
+Status Database::DropIndex(IndexId id) {
+  built_indexes_.erase(id);
+  return catalog_.DropIndex(id);
+}
+
+const BTreeIndex* Database::FindBuiltIndex(IndexId id) const {
+  auto it = built_indexes_.find(id);
+  return it == built_indexes_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+/// Pearson correlation between values and their heap positions — the
+/// statistic PostgreSQL calls pg_stats.correlation.
+double PhysicalCorrelation(const std::vector<Value>& column) {
+  const size_t n = column.size();
+  if (n < 2) return 1.0;
+  double mean_v = 0;
+  for (Value v : column) mean_v += static_cast<double>(v);
+  mean_v /= static_cast<double>(n);
+  const double mean_pos = (static_cast<double>(n) - 1) / 2.0;
+  double cov = 0, var_v = 0, var_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dv = static_cast<double>(column[i]) - mean_v;
+    const double dp = static_cast<double>(i) - mean_pos;
+    cov += dv * dp;
+    var_v += dv * dv;
+    var_pos += dp * dp;
+  }
+  if (var_v == 0 || var_pos == 0) return 1.0;
+  return cov / std::sqrt(var_v * var_pos);
+}
+
+}  // namespace
+
+Status Database::AnalyzeTable(TableId table, int histogram_buckets) {
+  const TableDef* def = catalog_.FindTable(table);
+  const TableData* data = FindData(table);
+  if (def == nullptr || data == nullptr) {
+    return Status::NotFound("cannot analyze table " + std::to_string(table));
+  }
+  TableStats stats;
+  stats.row_count = static_cast<double>(data->NumRows());
+  stats.RecomputePages(*def);
+  stats.columns.resize(def->columns.size());
+  for (size_t c = 0; c < def->columns.size(); ++c) {
+    const auto& col = data->column(static_cast<ColumnIdx>(c));
+    ColumnStats& cs = stats.columns[c];
+    if (col.empty()) {
+      cs = ColumnStats{};
+      continue;
+    }
+    std::set<Value> distinct(col.begin(), col.end());
+    cs.n_distinct = static_cast<double>(distinct.size());
+    cs.min = *distinct.begin();
+    cs.max = *distinct.rbegin();
+    cs.correlation = PhysicalCorrelation(col);
+    cs.histogram = Histogram::FromData(col, histogram_buckets);
+  }
+  stats_.Put(table, std::move(stats));
+  return Status::OK();
+}
+
+Status Database::AnalyzeAll(int histogram_buckets) {
+  for (const auto& [id, data] : data_) {
+    (void)data;
+    PINUM_RETURN_IF_ERROR(AnalyzeTable(id, histogram_buckets));
+  }
+  return Status::OK();
+}
+
+}  // namespace pinum

@@ -1,0 +1,62 @@
+// Database: catalog + statistics + (optionally) materialized data and
+// real indexes. The optimizer needs only catalog+stats; the executor and
+// the Section VI-B experiment need the materialized parts.
+#ifndef PINUM_STORAGE_DATABASE_H_
+#define PINUM_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "stats/table_stats.h"
+#include "storage/btree_index.h"
+#include "storage/table_data.h"
+
+namespace pinum {
+
+/// Owning facade over catalog, statistics, row data and built indexes.
+class Database {
+ public:
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  StatsCatalog& stats() { return stats_; }
+  const StatsCatalog& stats() const { return stats_; }
+
+  /// Creates (empty) storage for a registered table.
+  Status CreateTableStorage(TableId table);
+
+  /// Returns the data for a table; nullptr when not materialized.
+  TableData* MutableData(TableId table);
+  const TableData* FindData(TableId table) const;
+
+  /// Builds a real index over materialized data, updating the catalog
+  /// entry's size statistics with the true page counts.
+  StatusOr<IndexId> BuildIndex(const std::string& name, TableId table,
+                               const std::vector<ColumnIdx>& key_columns);
+
+  /// Drops a real index (catalog entry and materialized structure).
+  Status DropIndex(IndexId id);
+
+  /// Returns the built index structure; nullptr if not built.
+  const BTreeIndex* FindBuiltIndex(IndexId id) const;
+
+  /// Computes statistics (row counts, page counts, per-column stats with
+  /// equi-depth histograms and physical correlation) from materialized
+  /// data, like ANALYZE.
+  Status AnalyzeTable(TableId table, int histogram_buckets = 100);
+
+  /// ANALYZE for all materialized tables.
+  Status AnalyzeAll(int histogram_buckets = 100);
+
+ private:
+  Catalog catalog_;
+  StatsCatalog stats_;
+  std::map<TableId, std::unique_ptr<TableData>> data_;
+  std::map<IndexId, std::unique_ptr<BTreeIndex>> built_indexes_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_STORAGE_DATABASE_H_

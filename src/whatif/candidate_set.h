@@ -1,0 +1,47 @@
+// A candidate-index universe with stable ids: the shared vocabulary
+// between the INUM/PINUM caches (which price configurations of candidate
+// ids) and the advisor (which searches over subsets of them).
+#ifndef PINUM_WHATIF_CANDIDATE_SET_H_
+#define PINUM_WHATIF_CANDIDATE_SET_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "whatif/whatif_index.h"
+
+namespace pinum {
+
+/// The base catalog extended with every candidate what-if index, assigned
+/// stable IndexIds that configurations refer to.
+struct CandidateSet {
+  Catalog universe;
+  std::vector<IndexId> candidate_ids;
+
+  /// Catalog containing only the base objects plus the subset `config`.
+  Catalog Subset(const std::vector<IndexId>& config) const {
+    std::vector<IndexId> keep = base_index_ids;
+    keep.insert(keep.end(), config.begin(), config.end());
+    return CatalogWithOnlyIndexes(universe, keep);
+  }
+
+  /// Index ids that existed in the base catalog (real indexes).
+  std::vector<IndexId> base_index_ids;
+};
+
+/// Builds the universe from `base` plus hypothetical `candidates`.
+inline StatusOr<CandidateSet> MakeCandidateSet(
+    const Catalog& base, const std::vector<IndexDef>& candidates) {
+  CandidateSet set;
+  for (const auto& [id, def] : base.indexes()) {
+    (void)def;
+    set.base_index_ids.push_back(id);
+  }
+  PINUM_ASSIGN_OR_RETURN(
+      set.universe, CatalogWithIndexes(base, candidates, &set.candidate_ids));
+  return set;
+}
+
+}  // namespace pinum
+
+#endif  // PINUM_WHATIF_CANDIDATE_SET_H_

@@ -1,0 +1,331 @@
+#include "workload/star_schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+namespace pinum {
+
+namespace {
+
+/// Rows at the spec's logical scale, never below a workable floor.
+int64_t ScaledRows(int64_t base, double scale) {
+  return std::max<int64_t>(100, static_cast<int64_t>(
+                                    std::llround(base * scale)));
+}
+
+TableDef MakeTableDef(const std::string& name, int payload_cols,
+                      const std::vector<std::string>& fk_names) {
+  TableDef def;
+  def.name = name;
+  def.columns.push_back({"id", TypeId::kInt64});
+  for (const auto& fk : fk_names) {
+    def.columns.push_back({fk, TypeId::kInt64});
+  }
+  for (int i = 1; i <= payload_cols; ++i) {
+    def.columns.push_back({"c" + std::to_string(i), TypeId::kInt64});
+  }
+  return def;
+}
+
+}  // namespace
+
+StatusOr<StarSchemaWorkload> StarSchemaWorkload::Create(
+    const StarSchemaSpec& spec) {
+  StarSchemaWorkload w;
+  w.spec_ = spec;
+  PINUM_RETURN_IF_ERROR(w.BuildSchema());
+  w.BuildSyntheticStats();
+  PINUM_RETURN_IF_ERROR(w.BuildQueries());
+  return w;
+}
+
+Status StarSchemaWorkload::BuildSchema() {
+  Catalog& cat = db_.catalog();
+  const int num_l1 = spec_.num_l1;
+  if (static_cast<int>(spec_.l1_children.size()) != num_l1) {
+    return Status::InvalidArgument("l1_children size must equal num_l1");
+  }
+
+  // Level-2 dimensions first (leaves of the snowflake), then level-1
+  // dimensions referencing them, then the fact table referencing level 1.
+  std::vector<std::vector<std::string>> l2_names(
+      static_cast<size_t>(num_l1));
+  for (int d = 0; d < num_l1; ++d) {
+    for (int c = 0; c < spec_.l1_children[static_cast<size_t>(d)]; ++c) {
+      l2_names[static_cast<size_t>(d)].push_back(
+          "d" + std::to_string(d + 1) + "_" + std::to_string(c + 1));
+    }
+  }
+
+  struct Pending {
+    std::string name;
+    TableDef def;
+    double rows;
+    std::vector<std::pair<std::string, std::string>> fks;  // col -> parent
+  };
+  std::vector<Pending> pending;
+
+  for (int d = 0; d < num_l1; ++d) {
+    for (const auto& name : l2_names[static_cast<size_t>(d)]) {
+      Pending p;
+      p.name = name;
+      p.def = MakeTableDef(name, spec_.payload_cols, {});
+      p.rows = static_cast<double>(ScaledRows(spec_.l2_rows, spec_.scale));
+      pending.push_back(std::move(p));
+    }
+  }
+  for (int d = 0; d < num_l1; ++d) {
+    std::vector<std::string> fk_cols;
+    Pending p;
+    p.name = "d" + std::to_string(d + 1);
+    for (const auto& child : l2_names[static_cast<size_t>(d)]) {
+      fk_cols.push_back("fk_" + child);
+      p.fks.emplace_back("fk_" + child, child);
+    }
+    p.def = MakeTableDef(p.name, spec_.payload_cols, fk_cols);
+    p.rows = static_cast<double>(ScaledRows(spec_.l1_rows, spec_.scale));
+    pending.push_back(std::move(p));
+  }
+  {
+    Pending fact;
+    fact.name = "fact";
+    std::vector<std::string> fk_cols;
+    for (int d = 0; d < num_l1; ++d) {
+      const std::string parent = "d" + std::to_string(d + 1);
+      fk_cols.push_back("fk_" + parent);
+      fact.fks.emplace_back("fk_" + parent, parent);
+    }
+    fact.def = MakeTableDef(fact.name, spec_.payload_cols, fk_cols);
+    fact.rows = static_cast<double>(ScaledRows(spec_.fact_rows, spec_.scale));
+    pending.push_back(std::move(fact));
+  }
+
+  for (auto& p : pending) {
+    PINUM_ASSIGN_OR_RETURN(TableId id, cat.AddTable(std::move(p.def)));
+    (void)id;
+  }
+  for (const auto& p : pending) {
+    const TableDef* child = cat.FindTableByName(p.name);
+    for (const auto& [col, parent] : p.fks) {
+      const TableDef* parent_def = cat.FindTableByName(parent);
+      if (child == nullptr || parent_def == nullptr) {
+        return Status::Internal("FK wiring failed");
+      }
+      ForeignKey fk;
+      fk.child_table = child->id;
+      fk.child_column = child->FindColumn(col);
+      fk.parent_table = parent_def->id;
+      fk.parent_column = parent_def->FindColumn("id");
+      PINUM_RETURN_IF_ERROR(cat.AddForeignKey(fk));
+    }
+  }
+
+  // tables_: fact first, then dimensions in creation order.
+  tables_.clear();
+  logical_rows_.clear();
+  tables_.push_back(cat.FindTableByName("fact")->id);
+  logical_rows_.push_back(pending.back().rows);
+  for (size_t i = 0; i + 1 < pending.size(); ++i) {
+    tables_.push_back(cat.FindTableByName(pending[i].name)->id);
+    logical_rows_.push_back(pending[i].rows);
+  }
+  return Status::OK();
+}
+
+double StarSchemaWorkload::LogicalRows(TableId table) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i] == table) return logical_rows_[i];
+  }
+  return 0;
+}
+
+void StarSchemaWorkload::BuildSyntheticStats() {
+  const Catalog& cat = db_.catalog();
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    const TableDef* def = cat.FindTable(tables_[i]);
+    const double rows = logical_rows_[i];
+    TableStats stats;
+    stats.row_count = rows;
+    stats.RecomputePages(*def);
+    stats.columns.resize(def->columns.size());
+    for (size_t c = 0; c < def->columns.size(); ++c) {
+      ColumnStats& cs = stats.columns[c];
+      const std::string& name = def->columns[c].name;
+      if (name == "id") {
+        cs.n_distinct = rows;
+        cs.min = 0;
+        cs.max = static_cast<Value>(rows) - 1;
+        cs.correlation = 1.0;  // surrogate keys stored in insertion order
+        cs.histogram = Histogram::Uniform(cs.min, std::max(cs.min, cs.max));
+      } else if (name.rfind("fk_", 0) == 0) {
+        const std::string parent = name.substr(3);
+        const TableDef* pdef = cat.FindTableByName(parent);
+        const double parent_rows =
+            pdef != nullptr ? LogicalRows(pdef->id) : rows;
+        cs.n_distinct = std::min(rows, parent_rows);
+        cs.min = 0;
+        cs.max = static_cast<Value>(parent_rows) - 1;
+        cs.correlation = 0.0;
+        cs.histogram = Histogram::Uniform(cs.min, std::max(cs.min, cs.max));
+      } else {
+        cs.n_distinct = std::min(rows, static_cast<double>(spec_.payload_max));
+        cs.min = 1;
+        cs.max = spec_.payload_max;
+        cs.correlation = 0.0;
+        cs.histogram = Histogram::Uniform(cs.min, cs.max);
+      }
+    }
+    db_.stats().Put(tables_[i], std::move(stats));
+  }
+}
+
+Status StarSchemaWorkload::BuildQueries() {
+  Rng rng(spec_.seed);
+  const Catalog& cat = db_.catalog();
+
+  for (size_t qi = 0; qi < spec_.query_sizes.size(); ++qi) {
+    const int target_tables = spec_.query_sizes[qi];
+
+    // Random FK-connected subtree containing the fact table.
+    std::set<TableId> included = {fact_table()};
+    std::vector<ForeignKey> used_edges;
+    while (static_cast<int>(included.size()) < target_tables) {
+      std::vector<ForeignKey> frontier;
+      for (const auto& fk : cat.foreign_keys()) {
+        if (included.count(fk.child_table) > 0 &&
+            included.count(fk.parent_table) == 0) {
+          frontier.push_back(fk);
+        }
+      }
+      if (frontier.empty()) break;
+      const ForeignKey edge = frontier[rng.Index(frontier.size())];
+      included.insert(edge.parent_table);
+      used_edges.push_back(edge);
+    }
+
+    Query q;
+    q.name = "Q" + std::to_string(qi + 1);
+    // FROM list in a deterministic order: fact first, then join order.
+    q.tables.push_back(fact_table());
+    for (const auto& e : used_edges) q.tables.push_back(e.parent_table);
+    for (const auto& e : used_edges) {
+      q.joins.push_back({{e.child_table, e.child_column},
+                         {e.parent_table, e.parent_column}});
+    }
+
+    // Random select columns: dimension payloads, plus (with configured
+    // probability) one fact payload column.
+    const int num_select = 2 + static_cast<int>(rng.Index(3));
+    std::vector<ColumnRef> payload_pool;
+    std::vector<ColumnRef> fact_payloads;
+    for (TableId t : q.tables) {
+      const TableDef* def = cat.FindTable(t);
+      for (size_t c = 0; c < def->columns.size(); ++c) {
+        if (def->columns[c].name.rfind("c", 0) == 0) {
+          if (t == fact_table()) {
+            fact_payloads.push_back({t, static_cast<ColumnIdx>(c)});
+          } else {
+            payload_pool.push_back({t, static_cast<ColumnIdx>(c)});
+          }
+        }
+      }
+    }
+    rng.Shuffle(&payload_pool);
+    // Two-table queries have only one dimension; fall back to the fact
+    // pool when the dimension payloads run out.
+    if (payload_pool.empty()) payload_pool = fact_payloads;
+    for (int s = 0; s < num_select &&
+                    s < static_cast<int>(payload_pool.size());
+         ++s) {
+      q.select.push_back(payload_pool[static_cast<size_t>(s)]);
+    }
+    if (!fact_payloads.empty() && rng.Chance(spec_.fact_select_probability)) {
+      q.select.push_back(fact_payloads[rng.Index(fact_payloads.size())]);
+    }
+
+    // Where clauses with the target selectivity, biased toward the fact
+    // table (index 0 of the pool after re-shuffling below).
+    for (int f = 0; f < spec_.filters_per_query; ++f) {
+      const TableId t = (f == 0) ? fact_table()
+                                 : q.tables[rng.Index(q.tables.size())];
+      const TableDef* def = cat.FindTable(t);
+      std::vector<ColumnIdx> payloads;
+      for (size_t c = 0; c < def->columns.size(); ++c) {
+        if (def->columns[c].name.rfind("c", 0) == 0) {
+          payloads.push_back(static_cast<ColumnIdx>(c));
+        }
+      }
+      // Filters target a small set of "hot" columns (the first three
+      // payload columns), so covering candidates overlap across queries —
+      // the regime where the paper's advisor amortizes four covering
+      // fact-table indexes over the whole workload.
+      const size_t hot = std::min<size_t>(3, payloads.size());
+      const ColumnIdx col = payloads[rng.Index(hot)];
+      // value <= min + sel * span gives `sel` selectivity on uniform data.
+      const double span = static_cast<double>(spec_.payload_max - 1);
+      const Value bound =
+          1 + static_cast<Value>(std::llround(span * spec_.filter_selectivity));
+      q.filters.push_back({{t, col}, CompareOp::kLe, bound});
+    }
+
+    // Order-by one of the selected columns.
+    if (!q.select.empty()) {
+      q.order_by.push_back({q.select[rng.Index(q.select.size())], true});
+    }
+
+    // Optional aggregation (off by default; the paper's workload has
+    // order-by but no group-by).
+    if (rng.Chance(spec_.group_by_fraction) && q.select.size() >= 2) {
+      q.group_by.push_back(q.select[0]);
+      q.aggregate = AggKind::kSum;
+      q.order_by.clear();
+      q.order_by.push_back({q.select[0], true});
+    }
+
+    queries_.push_back(std::move(q));
+  }
+  return Status::OK();
+}
+
+Status StarSchemaWorkload::Materialize(double exec_scale) {
+  Rng rng(spec_.seed + 1);
+  Catalog& cat = db_.catalog();
+
+  // Generate parents before children so FK values can reference real row
+  // counts; tables_ is ordered fact-first, so iterate in reverse.
+  std::map<TableId, int64_t> rows_of;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    rows_of[tables_[i]] = std::max<int64_t>(
+        50, static_cast<int64_t>(std::llround(logical_rows_[i] * exec_scale)));
+  }
+
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    const TableId tid = *it;
+    const TableDef* def = cat.FindTable(tid);
+    PINUM_RETURN_IF_ERROR(db_.CreateTableStorage(tid));
+    TableData* data = db_.MutableData(tid);
+    const int64_t n = rows_of[tid];
+    data->Reserve(static_cast<size_t>(n));
+    std::vector<Value> row(def->columns.size());
+    for (int64_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < def->columns.size(); ++c) {
+        const std::string& name = def->columns[c].name;
+        if (name == "id") {
+          row[c] = r;  // surrogate key in insertion order
+        } else if (name.rfind("fk_", 0) == 0) {
+          const TableDef* parent = cat.FindTableByName(name.substr(3));
+          row[c] = rng.Uniform(0, rows_of[parent->id] - 1);
+        } else {
+          row[c] = rng.Uniform(1, spec_.payload_max);
+        }
+      }
+      data->AppendRow(row);
+    }
+  }
+  return db_.AnalyzeAll();
+}
+
+}  // namespace pinum

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "advisor/candidate_generator.h"
+#include "advisor/greedy_advisor.h"
+#include "pinum/pinum_builder.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+
+namespace pinum {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  AdvisorTest() : mini_() {
+    workload_ = {mini_.JoinQuery(), mini_.ThreeWayQuery()};
+    CandidateOptions copt;
+    candidates_ = GenerateCandidates(workload_, mini_.db.catalog(),
+                                     mini_.db.stats(), copt);
+    set_ = *MakeCandidateSet(mini_.db.catalog(), candidates_);
+    for (const Query& q : workload_) {
+      PinumBuildOptions opts;
+      auto cache = BuildInumCachePinum(q, mini_.db.catalog(), set_,
+                                       mini_.db.stats(), opts, nullptr);
+      EXPECT_TRUE(cache.ok());
+      caches_.push_back(std::move(*cache));
+    }
+  }
+
+  MiniStar mini_;
+  std::vector<Query> workload_;
+  std::vector<IndexDef> candidates_;
+  CandidateSet set_;
+  std::vector<InumCache> caches_;
+};
+
+TEST_F(AdvisorTest, CandidatesCoverInterestingColumns) {
+  EXPECT_GT(candidates_.size(), 5u);
+  // Every candidate indexes a table referenced by the workload and has a
+  // nonempty key.
+  for (const auto& c : candidates_) {
+    EXPECT_TRUE(c.hypothetical);
+    EXPECT_FALSE(c.key_columns.empty());
+    EXPECT_GT(c.leaf_pages, 0);
+    bool referenced = false;
+    for (const auto& q : workload_) {
+      if (q.PosOfTable(c.table) >= 0) referenced = true;
+    }
+    EXPECT_TRUE(referenced);
+  }
+  // Covering candidates exist (multi-column keys).
+  bool has_covering = false;
+  for (const auto& c : candidates_) {
+    if (c.key_columns.size() > 1) has_covering = true;
+  }
+  EXPECT_TRUE(has_covering);
+}
+
+TEST_F(AdvisorTest, CandidatesDeduplicated) {
+  std::set<std::string> keys;
+  for (const auto& c : candidates_) {
+    std::string key = std::to_string(c.table);
+    for (ColumnIdx k : c.key_columns) key += "," + std::to_string(k);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate candidate " << key;
+  }
+}
+
+TEST_F(AdvisorTest, MaxCandidatesRespected) {
+  CandidateOptions capped;
+  capped.max_candidates = 3;
+  auto some = GenerateCandidates(workload_, mini_.db.catalog(),
+                                 mini_.db.stats(), capped);
+  EXPECT_LE(some.size(), 3u);
+}
+
+TEST_F(AdvisorTest, GreedyImprovesWorkloadCost) {
+  AdvisorOptions opts;
+  const AdvisorResult result = RunGreedyAdvisor(caches_, set_, opts);
+  EXPECT_FALSE(result.chosen.empty());
+  EXPECT_LT(result.workload_cost_after, result.workload_cost_before);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+TEST_F(AdvisorTest, StepsHaveNonIncreasingBenefit) {
+  AdvisorOptions opts;
+  const AdvisorResult result = RunGreedyAdvisor(caches_, set_, opts);
+  for (size_t i = 1; i < result.steps.size(); ++i) {
+    EXPECT_LE(result.steps[i].benefit, result.steps[i - 1].benefit + 1e-6);
+  }
+  // Steps' final costs are consistent with the overall result.
+  if (!result.steps.empty()) {
+    EXPECT_NEAR(result.steps.back().workload_cost_after,
+                result.workload_cost_after, 1e-6);
+  }
+}
+
+TEST_F(AdvisorTest, BudgetRespected) {
+  AdvisorOptions tight;
+  tight.budget_bytes = 2 * 1024 * 1024;  // 2 MB
+  const AdvisorResult result = RunGreedyAdvisor(caches_, set_, tight);
+  EXPECT_LE(result.total_size_bytes, tight.budget_bytes);
+  int64_t recomputed = 0;
+  for (IndexId id : result.chosen) {
+    recomputed += IndexSizeBytes(*set_.universe.FindIndex(id));
+  }
+  EXPECT_EQ(recomputed, result.total_size_bytes);
+}
+
+TEST_F(AdvisorTest, ZeroBudgetChoosesNothing) {
+  AdvisorOptions zero;
+  zero.budget_bytes = 0;
+  const AdvisorResult result = RunGreedyAdvisor(caches_, set_, zero);
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_EQ(result.workload_cost_after, result.workload_cost_before);
+}
+
+TEST_F(AdvisorTest, MaxIndexesCapsSelection) {
+  AdvisorOptions capped;
+  capped.max_indexes = 1;
+  const AdvisorResult result = RunGreedyAdvisor(caches_, set_, capped);
+  EXPECT_LE(result.chosen.size(), 1u);
+}
+
+TEST_F(AdvisorTest, LargerBudgetNeverHurts) {
+  AdvisorOptions small;
+  small.budget_bytes = 4 * 1024 * 1024;
+  AdvisorOptions large;
+  large.budget_bytes = 4LL * 1024 * 1024 * 1024;
+  const AdvisorResult r_small = RunGreedyAdvisor(caches_, set_, small);
+  const AdvisorResult r_large = RunGreedyAdvisor(caches_, set_, large);
+  EXPECT_LE(r_large.workload_cost_after, r_small.workload_cost_after + 1e-6);
+}
+
+}  // namespace
+}  // namespace pinum

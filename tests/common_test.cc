@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitset64.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace pinum {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  PINUM_ASSIGN_OR_RETURN(int half, Half(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseAssignOrReturn(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(13);
+  auto sample = rng.SampleIndices(50, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RelSetTest, BasicSetOps) {
+  RelSet s = RelSet::Single(3).With(5);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_EQ(s.Lowest(), 3);
+}
+
+TEST(RelSetTest, UnionIntersectMinus) {
+  const RelSet a(0b1010), b(0b0110);
+  EXPECT_EQ(a.Union(b).bits(), 0b1110u);
+  EXPECT_EQ(a.Intersect(b).bits(), 0b0010u);
+  EXPECT_EQ(a.Minus(b).bits(), 0b1000u);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(a.Union(b).ContainsAll(a));
+}
+
+TEST(RelSetTest, FirstN) {
+  EXPECT_EQ(RelSet::FirstN(0).bits(), 0u);
+  EXPECT_EQ(RelSet::FirstN(3).bits(), 0b111u);
+  EXPECT_EQ(RelSet::FirstN(7).Count(), 7);
+}
+
+TEST(RelSetTest, ForEachVisitsAscending) {
+  RelSet s(0b101001);
+  std::vector<int> seen;
+  s.ForEach([&](int pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(StrUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"x"}, ", "), "x");
+}
+
+TEST(StrUtilTest, AsciiUpper) {
+  EXPECT_EQ(AsciiUpper("select"), "SELECT");
+  EXPECT_EQ(AsciiUpper("MiXeD_123"), "MIXED_123");
+}
+
+}  // namespace
+}  // namespace pinum

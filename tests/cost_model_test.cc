@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/cost_model.h"
+
+namespace pinum {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, SeqScanLinearInPagesAndRows) {
+  const Cost c1 = model_.SeqScan(1000, 100000, 1);
+  const Cost c2 = model_.SeqScan(2000, 200000, 1);
+  EXPECT_NEAR(c2.total, 2 * c1.total, 1e-9);
+  EXPECT_EQ(c1.startup, 0);
+  // More filter terms cost more CPU.
+  EXPECT_GT(model_.SeqScan(1000, 100000, 3).total, c1.total);
+}
+
+TEST_F(CostModelTest, MackertLohmanCapsAtPages) {
+  EXPECT_EQ(MackertLohmanPages(0, 100), 0);
+  EXPECT_LE(MackertLohmanPages(1e9, 100), 100);
+  // Few tuples over many pages: about one page per tuple.
+  EXPECT_NEAR(MackertLohmanPages(10, 1e6), 10, 0.1);
+}
+
+TEST_F(CostModelTest, IndexScanCheaperWhenSelective) {
+  const double leaf = 3000, heap = 10000, rows = 1e6;
+  const Cost narrow =
+      model_.IndexScan(leaf, 2, heap, 0.01, rows * 0.01, rows * 0.01, 0.0,
+                       false, 0);
+  const Cost wide = model_.IndexScan(leaf, 2, heap, 0.5, rows * 0.5,
+                                     rows * 0.5, 0.0, false, 0);
+  EXPECT_LT(narrow.total, wide.total);
+}
+
+TEST_F(CostModelTest, CorrelationReducesHeapIo) {
+  const double leaf = 3000, heap = 10000, rows = 1e6;
+  const Cost uncorrelated = model_.IndexScan(leaf, 2, heap, 0.1, rows * 0.1,
+                                             rows * 0.1, 0.0, false, 0);
+  const Cost correlated = model_.IndexScan(leaf, 2, heap, 0.1, rows * 0.1,
+                                           rows * 0.1, 1.0, false, 0);
+  EXPECT_LT(correlated.total, uncorrelated.total);
+}
+
+TEST_F(CostModelTest, IndexOnlyAvoidsHeapFetches) {
+  const double leaf = 3000, heap = 10000, rows = 1e6;
+  const Cost regular = model_.IndexScan(leaf, 2, heap, 0.1, rows * 0.1,
+                                        rows * 0.1, 0.0, false, 0);
+  const Cost index_only = model_.IndexScan(leaf, 2, heap, 0.1, rows * 0.1,
+                                           rows * 0.1, 0.0, true, 0);
+  EXPECT_LT(index_only.total, regular.total * 0.5);
+}
+
+TEST_F(CostModelTest, IndexScanBeatsSeqScanOnlyWhenSelective) {
+  // The planner's pivotal trade-off: a selective range fits the index
+  // scan; a full-table read favors the sequential scan.
+  const double leaf = 3000, heap = 20000, rows = 1e6;
+  const Cost seq = model_.SeqScan(heap, rows, 1);
+  const Cost sel_idx = model_.IndexScan(leaf, 2, heap, 0.001, rows * 0.001,
+                                        rows * 0.001, 0.0, false, 1);
+  const Cost full_idx =
+      model_.IndexScan(leaf, 2, heap, 1.0, rows, rows, 0.0, false, 1);
+  EXPECT_LT(sel_idx.total, seq.total);
+  EXPECT_GT(full_idx.total, seq.total);
+}
+
+TEST_F(CostModelTest, ProbeCheapRelativeToScan) {
+  const Cost probe = model_.IndexProbe(2, 1, 2.0, false, 0);
+  const Cost scan = model_.SeqScan(10000, 1e6, 0);
+  EXPECT_LT(probe.total * 100, scan.total);
+  // Index-only probes skip the heap fetches.
+  const Cost io_probe = model_.IndexProbe(2, 1, 2.0, true, 0);
+  EXPECT_LT(io_probe.total, probe.total);
+}
+
+TEST_F(CostModelTest, SortSuperlinearAndSpills) {
+  const Cost small = model_.Sort(1000, 16);
+  const Cost big = model_.Sort(1'000'000, 16);
+  EXPECT_GT(big.total, 1000 * small.total / 2);
+  // Startup dominates: a sort emits nothing until done.
+  EXPECT_GT(small.startup, 0.9 * small.total - small.startup);
+
+  // Spilling adds IO beyond work_mem.
+  CostParams tight;
+  tight.work_mem_bytes = 1024;
+  CostModel tight_model(tight);
+  EXPECT_GT(tight_model.Sort(1'000'000, 16).total,
+            model_.Sort(1'000'000, 16).total);
+}
+
+TEST_F(CostModelTest, HashJoinBuildOnInner) {
+  const Cost c = model_.HashJoin(1e6, 1000, 16, 16, 1e6);
+  // Startup covers the build side only.
+  EXPECT_LT(c.startup, c.total);
+  // Spill when inner exceeds work_mem.
+  const Cost spilled = model_.HashJoin(1e6, 1e7, 64, 16, 1e6);
+  const Cost fits = model_.HashJoin(1e6, 1000, 64, 16, 1e6);
+  EXPECT_GT(spilled.total - fits.total, 0);
+}
+
+TEST_F(CostModelTest, MergeJoinLinearInInputs) {
+  const Cost c1 = model_.MergeJoin(1e5, 1e5, 1e5);
+  const Cost c2 = model_.MergeJoin(2e5, 2e5, 2e5);
+  EXPECT_NEAR(c2.total, 2 * c1.total, 1e-6);
+}
+
+TEST_F(CostModelTest, AggCosts) {
+  const Cost hash = model_.HashAgg(1e6, 100, 1);
+  const Cost group = model_.GroupAgg(1e6, 100, 1);
+  // Hash agg pays up front; sorted agg streams.
+  EXPECT_GT(hash.startup, 0);
+  EXPECT_EQ(group.startup, 0);
+  EXPECT_GT(model_.HashAgg(1e6, 100, 3).total, hash.total);
+}
+
+TEST_F(CostModelTest, MaterialRescanCheaperThanFirstPass) {
+  const Cost mat = model_.Material(1e5, 16);
+  const double rescan = model_.RescanMaterialCost(1e5, 16);
+  EXPECT_LT(rescan, mat.total);
+  EXPECT_GT(rescan, 0);
+}
+
+TEST_F(CostModelTest, DefaultParamsMatchPostgres) {
+  CostParams p;
+  EXPECT_EQ(p.seq_page_cost, 1.0);
+  EXPECT_EQ(p.random_page_cost, 4.0);
+  EXPECT_EQ(p.cpu_tuple_cost, 0.01);
+  EXPECT_EQ(p.cpu_index_tuple_cost, 0.005);
+  EXPECT_EQ(p.cpu_operator_cost, 0.0025);
+}
+
+}  // namespace
+}  // namespace pinum

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "advisor/candidate_generator.h"
+#include "common/rng.h"
+#include "inum/inum_builder.h"
+#include "optimizer/optimizer.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+
+namespace pinum {
+namespace {
+
+class InumTest : public ::testing::Test {
+ protected:
+  InumTest() : mini_() {
+    CandidateOptions copt;
+    auto cands =
+        GenerateCandidates({mini_.JoinQuery(), mini_.ThreeWayQuery()},
+                           mini_.db.catalog(), mini_.db.stats(), copt);
+    set_ = *MakeCandidateSet(mini_.db.catalog(), cands);
+  }
+
+  InumCache BuildClassic(const Query& q, InumBuildStats* stats = nullptr) {
+    InumBuildOptions opts;
+    auto cache = BuildInumCacheClassic(q, mini_.db.catalog(), set_,
+                                       mini_.db.stats(), opts, stats);
+    EXPECT_TRUE(cache.ok()) << cache.status().ToString();
+    return *cache;
+  }
+
+  MiniStar mini_;
+  CandidateSet set_;
+};
+
+TEST_F(InumTest, ClassicBuildMakesOneCallPerIocAndVariant) {
+  InumBuildStats stats;
+  const Query q = mini_.JoinQuery();
+  BuildClassic(q, &stats);
+  // 6 IOCs x 2 (NLJ on/off).
+  EXPECT_EQ(stats.iocs_enumerated, 6u);
+  EXPECT_EQ(stats.plan_cache_calls, 12);
+  EXPECT_GT(stats.access_cost_calls, 0);
+  EXPECT_GT(stats.plans_cached, 0u);
+}
+
+TEST_F(InumTest, EmptyConfigCostMatchesOptimizerWithoutIndexes) {
+  const Query q = mini_.JoinQuery();
+  InumCache cache = BuildClassic(q);
+  Optimizer opt(&mini_.db.catalog(), &mini_.db.stats());
+  auto direct = opt.Optimize(q, PlannerKnobs{});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(cache.Cost({}), direct->best->cost.total,
+              direct->best->cost.total * 1e-6);
+}
+
+TEST_F(InumTest, CostIsMonotoneInConfiguration) {
+  // Adding an index can never increase the derived cost.
+  const Query q = mini_.ThreeWayQuery();
+  InumCache cache = BuildClassic(q);
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    IndexConfig config;
+    for (IndexId id : set_.candidate_ids) {
+      if (rng.Chance(0.3)) config.push_back(id);
+    }
+    const double base = cache.Cost(config);
+    for (IndexId extra : set_.candidate_ids) {
+      if (std::find(config.begin(), config.end(), extra) != config.end()) {
+        continue;
+      }
+      IndexConfig bigger = config;
+      bigger.push_back(extra);
+      EXPECT_LE(cache.Cost(bigger), base + 1e-6);
+    }
+  }
+}
+
+TEST_F(InumTest, BestPlanAgreesWithCost) {
+  const Query q = mini_.JoinQuery();
+  InumCache cache = BuildClassic(q);
+  IndexConfig config = set_.candidate_ids;
+  const CachedPlan* best = cache.BestPlan(config);
+  ASSERT_NE(best, nullptr);
+  EXPECT_NEAR(cache.PlanCost(*best, config), cache.Cost(config), 1e-9);
+}
+
+TEST_F(InumTest, PlanRequirementKeysAreCanonical) {
+  const Query q = mini_.ThreeWayQuery();
+  InumCache cache = BuildClassic(q);
+  std::set<std::string> keys;
+  for (const auto& plan : cache.plans()) {
+    EXPECT_TRUE(keys.insert(plan.RequirementKey()).second)
+        << "duplicate requirement key in cache";
+    // Slots sorted by table position.
+    for (size_t i = 1; i < plan.slots.size(); ++i) {
+      EXPECT_LT(plan.slots[i - 1].table_pos, plan.slots[i].table_pos);
+    }
+  }
+}
+
+TEST_F(InumTest, UnsatisfiableRequirementsPricedInfinite) {
+  AccessCostTable table;
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = 0;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 100};
+  seq.rows = 10;
+  info.options.push_back(seq);
+  table.Absorb(info);
+  // No index in the (empty) config covers order c0.
+  EXPECT_EQ(table.Ordered(0, {0, 0}, {}), kInfiniteCost);
+  EXPECT_EQ(table.Probe(0, {0, 0}, {}), kInfiniteCost);
+  EXPECT_EQ(table.Unordered(0, {}), 100);
+  EXPECT_EQ(table.HeapCost(0), 100);
+  // Out-of-range positions are infinite, not UB.
+  EXPECT_EQ(table.Unordered(7, {}), kInfiniteCost);
+}
+
+TEST_F(InumTest, AccessTablePricesPerIndexVariants) {
+  AccessCostTable table;
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = 0;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 1000};
+  info.options.push_back(seq);
+  ScanOption regular;
+  regular.index = 5;
+  regular.cost = {0, 400};
+  regular.order = OrderSpec::Single({0, 2});
+  info.options.push_back(regular);
+  ScanOption index_only = regular;
+  index_only.index_only = true;
+  index_only.cost = {0, 150};
+  info.options.push_back(index_only);
+  ProbeOption probe;
+  probe.index = 5;
+  probe.column = {0, 2};
+  probe.cost_per_probe = {0, 9};
+  probe.rows_per_probe = 2;
+  info.probes.push_back(probe);
+  table.Absorb(info);
+
+  EXPECT_EQ(table.Unordered(0, {5}), 150);   // cheapest variant
+  EXPECT_EQ(table.Ordered(0, {0, 2}, {5}), 150);
+  EXPECT_EQ(table.Ordered(0, {0, 3}, {5}), kInfiniteCost);  // wrong order
+  EXPECT_EQ(table.Probe(0, {0, 2}, {5}), 9);
+  EXPECT_EQ(table.Unordered(0, {}), 1000);   // config without the index
+}
+
+TEST_F(InumTest, CacheDedupKeepsCheaperInternalCost) {
+  InumCache cache;
+  Path plan;
+  plan.kind = PathKind::kSeqScan;
+  plan.cost = {0, 100};
+  LeafSlot slot;
+  slot.table_pos = 0;
+  slot.req = LeafReqKind::kUnordered;
+  slot.unit_cost = 40;
+  plan.leaves = {slot};
+  cache.AddPlan(plan, mini_.db.catalog());       // internal 60
+  plan.cost = {0, 80};
+  cache.AddPlan(plan, mini_.db.catalog());       // internal 40: replaces
+  plan.cost = {0, 90};
+  cache.AddPlan(plan, mini_.db.catalog());       // internal 50: ignored
+  ASSERT_EQ(cache.NumPlans(), 1u);
+  EXPECT_NEAR(cache.plans()[0].internal_cost, 40, 1e-9);
+}
+
+}  // namespace
+}  // namespace pinum

@@ -1,0 +1,172 @@
+// Property-style tests of planner invariants, parameterized over the ten
+// star-schema workload queries.
+#include <gtest/gtest.h>
+
+#include "optimizer/interesting_orders.h"
+#include "optimizer/optimizer.h"
+#include "workload/star_schema.h"
+
+namespace pinum {
+namespace {
+
+/// Workload shared by all property tests (paper-scale statistics).
+const StarSchemaWorkload& SharedWorkload() {
+  static StarSchemaWorkload* w = [] {
+    StarSchemaSpec spec;
+    auto created = StarSchemaWorkload::Create(spec);
+    return new StarSchemaWorkload(std::move(*created));
+  }();
+  return *w;
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  const Query& query() const {
+    return SharedWorkload().queries()[static_cast<size_t>(GetParam())];
+  }
+  const Catalog& catalog() const { return SharedWorkload().db().catalog(); }
+  const StatsCatalog& stats() const { return SharedWorkload().db().stats(); }
+};
+
+void WalkPaths(const Path& p, const std::function<void(const Path&)>& fn) {
+  fn(p);
+  if (p.outer) WalkPaths(*p.outer, fn);
+  if (p.inner) WalkPaths(*p.inner, fn);
+}
+
+TEST_P(QueryPropertyTest, PlanCoversAllTablesExactlyOnce) {
+  Optimizer opt(&catalog(), &stats());
+  auto r = opt.Optimize(query(), PlannerKnobs{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // One leaf slot per table position, each position exactly once.
+  std::set<int> positions;
+  for (const auto& slot : r->best->leaves) {
+    EXPECT_TRUE(positions.insert(slot.table_pos).second);
+  }
+  EXPECT_EQ(positions.size(), query().tables.size());
+}
+
+TEST_P(QueryPropertyTest, CostsAreFiniteAndPositive) {
+  Optimizer opt(&catalog(), &stats());
+  auto r = opt.Optimize(query(), PlannerKnobs{});
+  ASSERT_TRUE(r.ok());
+  WalkPaths(*r->best, [](const Path& p) {
+    EXPECT_GT(p.cost.total, 0);
+    EXPECT_GE(p.cost.startup, 0);
+    EXPECT_LE(p.cost.startup, p.cost.total + 1e-9);
+    EXPECT_GE(p.rows, 0);
+  });
+}
+
+TEST_P(QueryPropertyTest, ChildCostsNeverExceedParents) {
+  Optimizer opt(&catalog(), &stats());
+  auto r = opt.Optimize(query(), PlannerKnobs{});
+  ASSERT_TRUE(r.ok());
+  WalkPaths(*r->best, [](const Path& p) {
+    if (p.outer && p.kind != PathKind::kNestLoop) {
+      EXPECT_LE(p.outer->cost.total, p.cost.total + 1e-6)
+          << PathKindName(p.kind);
+    }
+  });
+}
+
+TEST_P(QueryPropertyTest, DisablingNestloopRemovesAllNljNodes) {
+  Optimizer opt(&catalog(), &stats());
+  PlannerKnobs knobs;
+  knobs.enable_nestloop = false;
+  knobs.hooks.export_all_plans = true;
+  auto r = opt.Optimize(query(), knobs);
+  ASSERT_TRUE(r.ok());
+  for (const auto& plan : r->exported) {
+    WalkPaths(*plan, [](const Path& p) {
+      EXPECT_NE(p.kind, PathKind::kNestLoop);
+      EXPECT_NE(p.kind, PathKind::kIndexProbe);
+    });
+  }
+}
+
+TEST_P(QueryPropertyTest, ExportedSetContainsTheWinner) {
+  Optimizer opt(&catalog(), &stats());
+  PlannerKnobs knobs;
+  knobs.hooks.export_all_plans = true;
+  knobs.enable_nestloop = false;
+  auto r = opt.Optimize(query(), knobs);
+  ASSERT_TRUE(r.ok());
+  double best = 1e30;
+  for (const auto& p : r->exported) best = std::min(best, p->cost.total);
+  EXPECT_NEAR(best, r->best->cost.total, 1e-6);
+}
+
+TEST_P(QueryPropertyTest, ExportedPlansSatisfyTheQueryOrder) {
+  Optimizer opt(&catalog(), &stats());
+  PlannerKnobs knobs;
+  knobs.hooks.export_all_plans = true;
+  knobs.enable_nestloop = false;
+  auto r = opt.Optimize(query(), knobs);
+  ASSERT_TRUE(r.ok());
+  OrderSpec required;
+  for (const auto& k : query().order_by) required.columns.push_back(k.column);
+  for (const auto& p : r->exported) {
+    EXPECT_TRUE(required.empty() || p->order.Satisfies(required))
+        << p->Explain(catalog());
+  }
+}
+
+TEST_P(QueryPropertyTest, InternalCostIsLeafIndependent) {
+  // internal = total - sum(mult x unit) must be non-negative: leaves can
+  // never cost more than the whole plan.
+  Optimizer opt(&catalog(), &stats());
+  PlannerKnobs knobs;
+  knobs.hooks.export_all_plans = true;
+  knobs.enable_nestloop = false;
+  auto r = opt.Optimize(query(), knobs);
+  ASSERT_TRUE(r.ok());
+  for (const auto& p : r->exported) {
+    EXPECT_GE(p->cost.total - p->LeafCostSum(), -1e-6)
+        << p->Explain(catalog());
+  }
+}
+
+TEST_P(QueryPropertyTest, ExportedCountBoundedByIocCount) {
+  Optimizer opt(&catalog(), &stats());
+  PlannerKnobs knobs;
+  knobs.hooks.export_all_plans = true;
+  knobs.enable_nestloop = false;
+  auto r = opt.Optimize(query(), knobs);
+  ASSERT_TRUE(r.ok());
+  const uint64_t iocs = CountIocs(PerTableInterestingOrders(query()));
+  // The Section IV observation: far fewer useful plans than IOCs.
+  EXPECT_LE(r->exported.size(), iocs);
+}
+
+TEST_P(QueryPropertyTest, MoreMemoryNeverWorsensThePlan) {
+  Optimizer opt(&catalog(), &stats());
+  PlannerKnobs small;
+  small.cost.work_mem_bytes = 1 << 20;
+  PlannerKnobs big;
+  big.cost.work_mem_bytes = 1 << 28;
+  auto r_small = opt.Optimize(query(), small);
+  auto r_big = opt.Optimize(query(), big);
+  ASSERT_TRUE(r_small.ok());
+  ASSERT_TRUE(r_big.ok());
+  EXPECT_LE(r_big->best->cost.total, r_small->best->cost.total + 1e-6);
+}
+
+TEST_P(QueryPropertyTest, DeterministicAcrossRepeatedCalls) {
+  Optimizer opt(&catalog(), &stats());
+  auto r1 = opt.Optimize(query(), PlannerKnobs{});
+  auto r2 = opt.Optimize(query(), PlannerKnobs{});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->best->cost.total, r2->best->cost.total);
+  EXPECT_EQ(r1->best->Signature(catalog()), r2->best->Signature(catalog()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloadQueries, QueryPropertyTest,
+                         ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param + 1);
+                         });
+
+}  // namespace
+}  // namespace pinum

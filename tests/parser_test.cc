@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace pinum {
+namespace {
+
+TEST(LexerTest, TokenizesAllKinds) {
+  auto tokens = Tokenize("SELECT a.b, c <= 42 >= < > = ( ) -7");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kIdent, TokenKind::kDot,
+                TokenKind::kIdent, TokenKind::kComma, TokenKind::kIdent,
+                TokenKind::kLe, TokenKind::kNumber, TokenKind::kGe,
+                TokenKind::kLt, TokenKind::kGt, TokenKind::kEq,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kNumber,
+                TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[7].number, 42);
+  EXPECT_EQ((*tokens)[14].number, -7);
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("select #!").ok());
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  MiniStar mini_;
+};
+
+TEST_F(ParserTest, ParsesSimpleSelect) {
+  auto q = ParseSql("SELECT c1 FROM d1", mini_.db.catalog());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->tables.size(), 1u);
+  EXPECT_EQ(q->select.size(), 1u);
+}
+
+TEST_F(ParserTest, ParsesJoinFilterOrder) {
+  auto q = ParseSql(
+      "SELECT fact.c2, d1.c1 FROM fact, d1 "
+      "WHERE fact.fk_d1 = d1.id AND fact.c1 <= 10000 "
+      "ORDER BY d1.c1 DESC",
+      mini_.db.catalog());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->filters.size(), 1u);
+  EXPECT_EQ(q->filters[0].op, CompareOp::kLe);
+  EXPECT_EQ(q->filters[0].constant, 10000);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+}
+
+TEST_F(ParserTest, ParsesBetweenAsTwoFilters) {
+  auto q = ParseSql("SELECT c1 FROM d1 WHERE c2 BETWEEN 5 AND 10",
+                    mini_.db.catalog());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].op, CompareOp::kGe);
+  EXPECT_EQ(q->filters[0].constant, 5);
+  EXPECT_EQ(q->filters[1].op, CompareOp::kLe);
+  EXPECT_EQ(q->filters[1].constant, 10);
+}
+
+TEST_F(ParserTest, ParsesGroupByWithSum) {
+  auto q = ParseSql(
+      "SELECT d1.c1, SUM(d1.c2) FROM d1 GROUP BY d1.c1 ORDER BY d1.c1",
+      mini_.db.catalog());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, AggKind::kSum);
+  EXPECT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->select.size(), 2u);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseSql("select c1 from d1 where c2 >= 3 order by c1",
+                    mini_.db.catalog());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->filters[0].op, CompareOp::kGe);
+}
+
+TEST_F(ParserTest, ResolvesUnqualifiedUnambiguousColumns) {
+  auto q = ParseSql("SELECT fk_d1 FROM fact", mini_.db.catalog());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].table, mini_.fact);
+}
+
+TEST_F(ParserTest, RejectsAmbiguousColumns) {
+  // c1 exists in both fact and d1.
+  auto q = ParseSql("SELECT c1 FROM fact, d1 WHERE fact.fk_d1 = d1.id",
+                    mini_.db.catalog());
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, RejectsUnknownTableAndColumn) {
+  EXPECT_EQ(ParseSql("SELECT c1 FROM nope", mini_.db.catalog())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseSql("SELECT zzz FROM d1", mini_.db.catalog())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, RejectsMalformedSql) {
+  EXPECT_FALSE(ParseSql("SELECT FROM d1", mini_.db.catalog()).ok());
+  EXPECT_FALSE(ParseSql("SELECT c1 d1", mini_.db.catalog()).ok());
+  EXPECT_FALSE(ParseSql("SELECT c1 FROM d1 WHERE", mini_.db.catalog()).ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT c1 FROM d1 WHERE c1 < d1.c2", mini_.db.catalog())
+          .ok());  // non-equality column comparison
+  EXPECT_FALSE(
+      ParseSql("SELECT c1 FROM d1 trailing", mini_.db.catalog()).ok());
+}
+
+TEST_F(ParserTest, RoundTripsGeneratedSql) {
+  const Query original = mini_.ThreeWayQuery();
+  const std::string sql = original.ToSql(mini_.db.catalog());
+  auto reparsed = ParseSql(sql, mini_.db.catalog());
+  ASSERT_TRUE(reparsed.ok()) << sql << " -> " << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->tables, original.tables);
+  EXPECT_EQ(reparsed->select.size(), original.select.size());
+  EXPECT_EQ(reparsed->joins.size(), original.joins.size());
+  EXPECT_EQ(reparsed->filters.size(), original.filters.size());
+  EXPECT_EQ(reparsed->order_by.size(), original.order_by.size());
+}
+
+}  // namespace
+}  // namespace pinum

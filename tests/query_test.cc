@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "test_util.h"
+
+namespace pinum {
+namespace {
+
+TEST(QueryBuilderTest, BuildsValidQuery) {
+  MiniStar mini;
+  const Query q = mini.JoinQuery();
+  EXPECT_EQ(q.tables.size(), 2u);
+  EXPECT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.order_by.size(), 1u);
+  EXPECT_EQ(q.PosOfTable(mini.fact), 0);
+  EXPECT_EQ(q.PosOfTable(mini.d1), 1);
+  EXPECT_EQ(q.PosOfTable(mini.d2), -1);
+}
+
+TEST(QueryBuilderTest, RejectsUnknownNames) {
+  MiniStar mini;
+  QueryBuilder qb(&mini.db.catalog());
+  auto q = qb.From("nope").Select("fact", "c1").Build();
+  EXPECT_FALSE(q.ok());
+  QueryBuilder qb2(&mini.db.catalog());
+  auto q2 = qb2.From("fact").Select("fact", "zzz").Build();
+  EXPECT_FALSE(q2.ok());
+}
+
+TEST(QueryBuilderTest, RejectsEmptyFromOrSelect) {
+  MiniStar mini;
+  QueryBuilder qb(&mini.db.catalog());
+  EXPECT_FALSE(qb.Build().ok());
+  QueryBuilder qb2(&mini.db.catalog());
+  EXPECT_FALSE(qb2.From("fact").Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsSelectOutsideFrom) {
+  MiniStar mini;
+  QueryBuilder qb(&mini.db.catalog());
+  auto q = qb.From("fact").Select("d1", "c1").Build();
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(QueryBuilderTest, RejectsSelfJoinPredicate) {
+  MiniStar mini;
+  QueryBuilder qb(&mini.db.catalog());
+  auto q = qb.From("fact")
+               .Select("fact", "c1")
+               .Join("fact", "c1", "fact", "c2")
+               .Build();
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(QueryTest, NeededColumnsCoversAllClauses) {
+  MiniStar mini;
+  const Query q = mini.JoinQuery();
+  // fact: c2 (select), c1 (filter), fk_d1 (join) -> columns 3, 4, 1.
+  const auto fact_cols = q.NeededColumns(mini.fact);
+  EXPECT_EQ(fact_cols.size(), 3u);
+  // d1: c1 (select + order by), id (join) -> 2 columns.
+  const auto d1_cols = q.NeededColumns(mini.d1);
+  EXPECT_EQ(d1_cols.size(), 2u);
+}
+
+TEST(QueryTest, FiltersOnSplitsByTable) {
+  MiniStar mini;
+  const Query q = mini.JoinQuery();
+  EXPECT_EQ(q.FiltersOn(mini.fact).size(), 1u);
+  EXPECT_TRUE(q.FiltersOn(mini.d1).empty());
+}
+
+TEST(QueryTest, JoinPredicateHelpers) {
+  MiniStar mini;
+  const Query q = mini.JoinQuery();
+  const JoinPredicate& j = q.joins[0];
+  EXPECT_TRUE(j.Touches(mini.fact));
+  EXPECT_TRUE(j.Touches(mini.d1));
+  EXPECT_FALSE(j.Touches(mini.d2));
+  EXPECT_EQ(j.SideOn(mini.fact).table, mini.fact);
+  EXPECT_EQ(j.OtherSide(mini.fact).table, mini.d1);
+}
+
+TEST(QueryTest, ToSqlRendersAllClauses) {
+  MiniStar mini;
+  const Query q = mini.JoinQuery();
+  const std::string sql = q.ToSql(mini.db.catalog());
+  EXPECT_NE(sql.find("SELECT fact.c2, d1.c1"), std::string::npos);
+  EXPECT_NE(sql.find("FROM fact, d1"), std::string::npos);
+  EXPECT_NE(sql.find("fact.fk_d1 = d1.id"), std::string::npos);
+  EXPECT_NE(sql.find("fact.c1 <="), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY d1.c1"), std::string::npos);
+}
+
+TEST(QueryTest, ToSqlRendersAggregates) {
+  MiniStar mini;
+  QueryBuilder qb(&mini.db.catalog());
+  auto q = qb.From("fact")
+               .Select("fact", "c1")
+               .Select("fact", "c2")
+               .GroupBy("fact", "c1")
+               .Aggregate(AggKind::kSum)
+               .Build();
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToSql(mini.db.catalog());
+  EXPECT_NE(sql.find("SUM(fact.c2)"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY fact.c1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinum

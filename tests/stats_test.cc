@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/selectivity.h"
+#include "stats/table_stats.h"
+
+namespace pinum {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_buckets(), 0);
+}
+
+TEST(HistogramTest, UniformFractionBelow) {
+  Histogram h = Histogram::Uniform(0, 1000, 100);
+  EXPECT_FALSE(h.empty());
+  EXPECT_NEAR(h.FractionBelow(500, false), 0.5, 0.02);
+  EXPECT_NEAR(h.FractionBelow(100, false), 0.1, 0.02);
+  EXPECT_EQ(h.FractionBelow(-1, false), 0.0);
+  EXPECT_EQ(h.FractionBelow(2000, true), 1.0);
+}
+
+TEST(HistogramTest, FractionBetween) {
+  Histogram h = Histogram::Uniform(0, 1000, 100);
+  EXPECT_NEAR(h.FractionBetween(250, 750), 0.5, 0.03);
+  EXPECT_EQ(h.FractionBetween(10, 5), 0.0);
+  EXPECT_NEAR(h.FractionBetween(0, 1000), 1.0, 0.01);
+}
+
+TEST(HistogramTest, FromDataEquiDepth) {
+  // Skewed data: equi-depth bucket boundaries concentrate where the data
+  // does, so the median estimate stays accurate.
+  std::vector<Value> data;
+  for (int i = 0; i < 900; ++i) data.push_back(i % 10);  // dense in [0,10)
+  for (int i = 0; i < 100; ++i) data.push_back(1000 + i);
+  Histogram h = Histogram::FromData(data, 50);
+  EXPECT_NEAR(h.FractionBelow(10, false), 0.9, 0.05);
+  EXPECT_NEAR(h.FractionBelow(1000, false), 0.9, 0.05);
+}
+
+TEST(HistogramTest, FromDataUniformMatchesAnalytic) {
+  Rng rng(5);
+  std::vector<Value> data;
+  for (int i = 0; i < 10000; ++i) data.push_back(rng.Uniform(0, 999999));
+  Histogram h = Histogram::FromData(data, 100);
+  EXPECT_NEAR(h.FractionBelow(250000, false), 0.25, 0.02);
+  EXPECT_NEAR(h.FractionBelow(750000, false), 0.75, 0.02);
+}
+
+TEST(HistogramTest, SingleValueData) {
+  Histogram h = Histogram::FromData(std::vector<Value>(100, 7), 10);
+  EXPECT_EQ(h.FractionBelow(6, true), 0.0);
+  EXPECT_EQ(h.FractionBelow(8, false), 1.0);
+}
+
+ColumnStats UniformStats(Value min, Value max, double nd) {
+  ColumnStats cs;
+  cs.min = min;
+  cs.max = max;
+  cs.n_distinct = nd;
+  cs.histogram = Histogram::Uniform(min, max, 100);
+  return cs;
+}
+
+TEST(SelectivityTest, EqualityUsesNDistinct) {
+  ColumnStats cs = UniformStats(0, 999, 1000);
+  EXPECT_NEAR(RestrictionSelectivity(cs, CompareOp::kEq, 500), 0.001, 1e-9);
+  // Out-of-range constants cannot match.
+  EXPECT_EQ(RestrictionSelectivity(cs, CompareOp::kEq, -5), 0.0);
+  EXPECT_EQ(RestrictionSelectivity(cs, CompareOp::kEq, 5000), 0.0);
+}
+
+TEST(SelectivityTest, RangeOnUniform) {
+  ColumnStats cs = UniformStats(0, 1000000, 1000000);
+  EXPECT_NEAR(RestrictionSelectivity(cs, CompareOp::kLe, 10000), 0.01, 0.005);
+  EXPECT_NEAR(RestrictionSelectivity(cs, CompareOp::kGe, 990000), 0.01,
+              0.005);
+  EXPECT_NEAR(RestrictionSelectivity(cs, CompareOp::kLt, 500000), 0.5, 0.01);
+  EXPECT_NEAR(RestrictionSelectivity(cs, CompareOp::kGt, 500000), 0.5, 0.01);
+}
+
+TEST(SelectivityTest, ComplementaryOpsSumToOne) {
+  ColumnStats cs = UniformStats(0, 99999, 100000);
+  for (Value v : {0, 1000, 50000, 99999}) {
+    const double le = RestrictionSelectivity(cs, CompareOp::kLe, v);
+    const double gt = RestrictionSelectivity(cs, CompareOp::kGt, v);
+    EXPECT_NEAR(le + gt, 1.0, 1e-9) << "v=" << v;
+  }
+}
+
+TEST(SelectivityTest, EquiJoinUsesLargerNDistinct) {
+  ColumnStats big = UniformStats(0, 999999, 1000000);
+  ColumnStats small = UniformStats(0, 999, 1000);
+  EXPECT_NEAR(EquiJoinSelectivity(big, small), 1e-6, 1e-12);
+  EXPECT_NEAR(EquiJoinSelectivity(small, small), 1e-3, 1e-9);
+}
+
+TEST(SelectivityTest, DistinctAfterRestrictionCapped) {
+  EXPECT_EQ(DistinctAfterRestriction(1000, 0.001, 10000), 10.0);
+  EXPECT_EQ(DistinctAfterRestriction(10, 0.5, 10000), 10.0);
+  EXPECT_EQ(DistinctAfterRestriction(10, 0.0, 10000), 1.0);
+}
+
+TEST(TableStatsTest, RecomputePages) {
+  TableDef def;
+  def.name = "t";
+  for (int i = 0; i < 4; ++i) {
+    def.columns.push_back({"c" + std::to_string(i), TypeId::kInt64});
+  }
+  TableStats stats;
+  stats.row_count = 1'000'000;
+  stats.RecomputePages(def);
+  // 60-byte tuples (32 data MAXALIGNed + 28 overhead), ~136 per 8K page.
+  const double rows_per_page = std::floor(8168.0 / def.TupleWidth());
+  EXPECT_NEAR(stats.heap_pages, std::ceil(1e6 / rows_per_page), 1.0);
+}
+
+TEST(StatsCatalogTest, FindColumn) {
+  StatsCatalog stats;
+  TableStats t;
+  t.row_count = 10;
+  t.columns.resize(2);
+  t.columns[1].n_distinct = 42;
+  stats.Put(7, t);
+  ASSERT_NE(stats.Find(7), nullptr);
+  EXPECT_EQ(stats.Find(8), nullptr);
+  const ColumnStats* cs = stats.FindColumn({7, 1});
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->n_distinct, 42);
+  EXPECT_EQ(stats.FindColumn({7, 5}), nullptr);
+  EXPECT_EQ(stats.FindColumn({9, 0}), nullptr);
+}
+
+}  // namespace
+}  // namespace pinum

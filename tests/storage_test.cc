@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/btree_index.h"
+#include "storage/database.h"
+
+namespace pinum {
+namespace {
+
+TableDef TwoColTable(const std::string& name) {
+  TableDef t;
+  t.name = name;
+  t.columns = {{"a", TypeId::kInt64}, {"b", TypeId::kInt64}};
+  return t;
+}
+
+TEST(TableDataTest, AppendAndRead) {
+  TableDef def = TwoColTable("t");
+  def.id = 0;
+  TableData data(def);
+  data.AppendRow({1, 10});
+  data.AppendRow({2, 20});
+  EXPECT_EQ(data.NumRows(), 2);
+  EXPECT_EQ(data.NumColumns(), 2u);
+  EXPECT_EQ(data.at(0, 1), 10);
+  EXPECT_EQ(data.at(1, 0), 2);
+  EXPECT_EQ(data.column(1)[1], 20);
+}
+
+TEST(BtreePagesTest, LeafPagesScaleWithEntries) {
+  const int width = 20;
+  EXPECT_EQ(BtreeLeafPages(0, width), 1);
+  const int64_t one_page = BtreeLeafPages(100, width);
+  EXPECT_EQ(one_page, 1);
+  const int64_t pages = BtreeLeafPages(1'000'000, width);
+  // ~367 entries per page (8168*0.9/20) -> ~2724 pages.
+  EXPECT_GT(pages, 2500);
+  EXPECT_LT(pages, 3000);
+}
+
+TEST(BtreePagesTest, FullSizeAddsInternalLevels) {
+  const BtreeSize small = BtreeFullSize(100, 20);
+  EXPECT_EQ(small.height, 0);
+  EXPECT_EQ(small.total_pages, small.leaf_pages);
+
+  const BtreeSize big = BtreeFullSize(10'000'000, 20);
+  EXPECT_GT(big.height, 0);
+  EXPECT_GT(big.total_pages, big.leaf_pages);
+  // Internal pages are a small fraction of the leaves (the premise of the
+  // paper's what-if estimator ignoring them).
+  const double internal =
+      static_cast<double>(big.total_pages - big.leaf_pages);
+  EXPECT_LT(internal / static_cast<double>(big.leaf_pages), 0.02);
+}
+
+TEST(BTreeIndexTest, OrderedAndRangeScan) {
+  TableDef def = TwoColTable("t");
+  def.id = 0;
+  TableData data(def);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) data.AppendRow({rng.Uniform(0, 99), i});
+
+  IndexDef idef;
+  idef.name = "i";
+  idef.table = 0;
+  idef.key_columns = {0};
+  BTreeIndex index(idef, def, data);
+  EXPECT_EQ(index.NumEntries(), 1000);
+
+  // Ordered scan yields non-decreasing keys.
+  Value prev = -1;
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_GE(index.KeyAt(i), prev);
+    prev = index.KeyAt(i);
+  }
+
+  // Range scan matches a brute-force filter.
+  const auto hits = index.RangeScan(10, 19);
+  size_t expected = 0;
+  for (int64_t r = 0; r < 1000; ++r) {
+    const Value v = data.at(r, 0);
+    if (v >= 10 && v <= 19) ++expected;
+  }
+  EXPECT_EQ(hits.size(), expected);
+  for (RowIdx r : hits) {
+    EXPECT_GE(data.at(r, 0), 10);
+    EXPECT_LE(data.at(r, 0), 19);
+  }
+
+  // Empty and full ranges.
+  EXPECT_TRUE(index.RangeScan(200, 300).empty());
+  EXPECT_EQ(index.RangeScan(0, 99).size(), 1000u);
+}
+
+TEST(BTreeIndexTest, MultiColumnKeyTiebreak) {
+  TableDef def = TwoColTable("t");
+  def.id = 0;
+  TableData data(def);
+  data.AppendRow({5, 3});
+  data.AppendRow({5, 1});
+  data.AppendRow({4, 9});
+  IndexDef idef;
+  idef.name = "i";
+  idef.table = 0;
+  idef.key_columns = {0, 1};
+  BTreeIndex index(idef, def, data);
+  const auto& rows = index.OrderedRows();
+  EXPECT_EQ(data.at(rows[0], 0), 4);
+  EXPECT_EQ(data.at(rows[1], 1), 1);  // (5,1) before (5,3)
+  EXPECT_EQ(data.at(rows[2], 1), 3);
+}
+
+TEST(DatabaseTest, BuildIndexUpdatesCatalogStats) {
+  Database db;
+  auto tid = db.catalog().AddTable(TwoColTable("t"));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(db.CreateTableStorage(*tid).ok());
+  TableData* data = db.MutableData(*tid);
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    data->AppendRow({rng.Uniform(0, 1000000), i});
+  }
+  auto iid = db.BuildIndex("idx_a", *tid, {0});
+  ASSERT_TRUE(iid.ok());
+  const IndexDef* def = db.catalog().FindIndex(*iid);
+  ASSERT_NE(def, nullptr);
+  EXPECT_FALSE(def->hypothetical);
+  EXPECT_GT(def->leaf_pages, 0);
+  EXPECT_GE(def->total_pages, def->leaf_pages);
+  EXPECT_NE(db.FindBuiltIndex(*iid), nullptr);
+
+  ASSERT_TRUE(db.DropIndex(*iid).ok());
+  EXPECT_EQ(db.FindBuiltIndex(*iid), nullptr);
+  EXPECT_EQ(db.catalog().FindIndex(*iid), nullptr);
+}
+
+TEST(DatabaseTest, BuildIndexRequiresData) {
+  Database db;
+  auto tid = db.catalog().AddTable(TwoColTable("t"));
+  auto iid = db.BuildIndex("idx", *tid, {0});
+  EXPECT_FALSE(iid.ok());
+  EXPECT_EQ(iid.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, AnalyzeComputesColumnStats) {
+  Database db;
+  auto tid = db.catalog().AddTable(TwoColTable("t"));
+  ASSERT_TRUE(db.CreateTableStorage(*tid).ok());
+  TableData* data = db.MutableData(*tid);
+  // Column a: sorted 0..999 (correlation 1). Column b: reverse sorted.
+  for (int i = 0; i < 1000; ++i) data->AppendRow({i, 999 - i});
+  ASSERT_TRUE(db.AnalyzeTable(*tid).ok());
+  const TableStats* stats = db.stats().Find(*tid);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 1000);
+  EXPECT_GE(stats->heap_pages, 1);
+  const ColumnStats& a = stats->columns[0];
+  EXPECT_EQ(a.n_distinct, 1000);
+  EXPECT_EQ(a.min, 0);
+  EXPECT_EQ(a.max, 999);
+  EXPECT_NEAR(a.correlation, 1.0, 1e-9);
+  EXPECT_NEAR(stats->columns[1].correlation, -1.0, 1e-9);
+}
+
+TEST(DatabaseTest, CreateStorageErrors) {
+  Database db;
+  EXPECT_EQ(db.CreateTableStorage(3).code(), StatusCode::kNotFound);
+  auto tid = db.catalog().AddTable(TwoColTable("t"));
+  ASSERT_TRUE(db.CreateTableStorage(*tid).ok());
+  EXPECT_EQ(db.CreateTableStorage(*tid).code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace pinum

@@ -1,0 +1,157 @@
+// Shared test fixtures: a miniature star schema (fact + two dimensions)
+// with synthetic statistics, plus helpers to materialize it.
+#ifndef PINUM_TESTS_TEST_UTIL_H_
+#define PINUM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "query/query.h"
+#include "stats/table_stats.h"
+#include "storage/database.h"
+
+namespace pinum {
+
+/// Builds `fact(id, fk_d1, fk_d2, c1, c2)`, `d1(id, c1, c2)`,
+/// `d2(id, c1, c2)` with uniform synthetic statistics.
+///
+/// fact: `fact_rows` rows; dims: `dim_rows` rows. Payload columns are
+/// uniform in [1, payload_max].
+class MiniStar {
+ public:
+  explicit MiniStar(double fact_rows = 1'000'000, double dim_rows = 10'000,
+                    Value payload_max = 1'000'000) {
+    auto add_table = [&](const std::string& name, bool is_fact) {
+      TableDef def;
+      def.name = name;
+      def.columns.push_back({"id", TypeId::kInt64});
+      if (is_fact) {
+        def.columns.push_back({"fk_d1", TypeId::kInt64});
+        def.columns.push_back({"fk_d2", TypeId::kInt64});
+      }
+      def.columns.push_back({"c1", TypeId::kInt64});
+      def.columns.push_back({"c2", TypeId::kInt64});
+      return *db.catalog().AddTable(def);
+    };
+    fact = add_table("fact", true);
+    d1 = add_table("d1", false);
+    d2 = add_table("d2", false);
+    (void)db.catalog().AddForeignKey(
+        {fact, 1, d1, 0});
+    (void)db.catalog().AddForeignKey(
+        {fact, 2, d2, 0});
+
+    auto put_stats = [&](TableId t, double rows, bool is_fact) {
+      const TableDef* def = db.catalog().FindTable(t);
+      TableStats stats;
+      stats.row_count = rows;
+      stats.RecomputePages(*def);
+      stats.columns.resize(def->columns.size());
+      for (size_t c = 0; c < def->columns.size(); ++c) {
+        ColumnStats& cs = stats.columns[c];
+        const std::string& name = def->columns[c].name;
+        if (name == "id") {
+          cs.n_distinct = rows;
+          cs.min = 0;
+          cs.max = static_cast<Value>(rows) - 1;
+          cs.correlation = 1.0;
+          cs.histogram = Histogram::Uniform(cs.min, cs.max);
+        } else if (name.rfind("fk_", 0) == 0) {
+          cs.n_distinct = std::min(rows, dim_rows_);
+          cs.min = 0;
+          cs.max = static_cast<Value>(dim_rows_) - 1;
+          cs.correlation = 0.0;
+          cs.histogram = Histogram::Uniform(cs.min, cs.max);
+        } else {
+          cs.n_distinct = std::min(rows, static_cast<double>(payload_max_));
+          cs.min = 1;
+          cs.max = payload_max_;
+          cs.correlation = 0.0;
+          cs.histogram = Histogram::Uniform(cs.min, cs.max);
+        }
+      }
+      db.stats().Put(t, std::move(stats));
+      (void)is_fact;
+    };
+    dim_rows_ = dim_rows;
+    payload_max_ = payload_max;
+    put_stats(fact, fact_rows, true);
+    put_stats(d1, dim_rows, false);
+    put_stats(d2, dim_rows, false);
+  }
+
+  /// Generates rows matching the synthetic distributions and re-ANALYZEs.
+  Status Materialize(int64_t fact_rows, int64_t dim_rows,
+                     uint64_t seed = 99) {
+    Rng rng(seed);
+    auto fill = [&](TableId t, int64_t n) -> Status {
+      PINUM_RETURN_IF_ERROR(db.CreateTableStorage(t));
+      TableData* data = db.MutableData(t);
+      const TableDef* def = db.catalog().FindTable(t);
+      std::vector<Value> row(def->columns.size());
+      for (int64_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < def->columns.size(); ++c) {
+          const std::string& name = def->columns[c].name;
+          if (name == "id") {
+            row[c] = r;
+          } else if (name.rfind("fk_", 0) == 0) {
+            row[c] = rng.Uniform(0, dim_rows - 1);
+          } else {
+            row[c] = rng.Uniform(1, payload_max_);
+          }
+        }
+        data->AppendRow(row);
+      }
+      return Status::OK();
+    };
+    PINUM_RETURN_IF_ERROR(fill(fact, fact_rows));
+    PINUM_RETURN_IF_ERROR(fill(d1, dim_rows));
+    PINUM_RETURN_IF_ERROR(fill(d2, dim_rows));
+    return db.AnalyzeAll();
+  }
+
+  /// Two-table join with a 1% filter on fact.c1 and ORDER BY d1.c1.
+  Query JoinQuery() const {
+    QueryBuilder qb(&db.catalog());
+    auto q = qb.Named("mini_q")
+                 .From("fact")
+                 .From("d1")
+                 .Select("fact", "c2")
+                 .Select("d1", "c1")
+                 .Join("fact", "fk_d1", "d1", "id")
+                 .Where("fact", "c1", CompareOp::kLe, payload_max_ / 100)
+                 .OrderBy("d1", "c1")
+                 .Build();
+    return *q;
+  }
+
+  /// Three-table join with filters on fact.
+  Query ThreeWayQuery() const {
+    QueryBuilder qb(&db.catalog());
+    auto q = qb.Named("mini_q3")
+                 .From("fact")
+                 .From("d1")
+                 .From("d2")
+                 .Select("fact", "c2")
+                 .Select("d1", "c1")
+                 .Select("d2", "c2")
+                 .Join("fact", "fk_d1", "d1", "id")
+                 .Join("fact", "fk_d2", "d2", "id")
+                 .Where("fact", "c1", CompareOp::kLe, payload_max_ / 100)
+                 .OrderBy("d2", "c2")
+                 .Build();
+    return *q;
+  }
+
+  Database db;
+  TableId fact, d1, d2;
+
+ private:
+  double dim_rows_;
+  Value payload_max_;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "storage/btree_index.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+#include "whatif/whatif_index.h"
+
+namespace pinum {
+namespace {
+
+TEST(WhatIfIndexTest, LeafOnlySizeEstimate) {
+  TableDef t;
+  t.name = "t";
+  t.id = 0;
+  t.columns = {{"a", TypeId::kInt64}, {"b", TypeId::kInt64}};
+  const IndexDef def = MakeWhatIfIndex("w", t, {0}, 1'000'000);
+  EXPECT_TRUE(def.hypothetical);
+  EXPECT_GT(def.leaf_pages, 0);
+  // Section V-A: internal pages ignored.
+  EXPECT_EQ(def.total_pages, def.leaf_pages);
+  EXPECT_EQ(def.height, 0);
+  EXPECT_EQ(IndexSizeBytes(def), def.total_pages * PageLayout::kPageSize);
+}
+
+TEST(WhatIfIndexTest, EstimateMatchesRealLeafPagesExactly) {
+  // The what-if estimator and the real build share the same leaf-page
+  // math; the only size difference is the internal pages.
+  MiniStar mini;
+  ASSERT_TRUE(mini.Materialize(200'000, 1'000).ok());
+  const TableDef* fact = mini.db.catalog().FindTable(mini.fact);
+  const IndexDef estimated =
+      MakeWhatIfIndex("w", *fact, {3}, 200'000);
+  auto real = mini.db.BuildIndex("real_c1", mini.fact, {3});
+  ASSERT_TRUE(real.ok());
+  const IndexDef* built = mini.db.catalog().FindIndex(*real);
+  EXPECT_EQ(estimated.leaf_pages, built->leaf_pages);
+  EXPECT_GE(built->total_pages, built->leaf_pages);
+  // Relative size error = internal/total: small (the paper's 0.33%-scale
+  // error source).
+  const double err =
+      static_cast<double>(built->total_pages - estimated.total_pages) /
+      static_cast<double>(built->total_pages);
+  EXPECT_GE(err, 0.0);
+  EXPECT_LT(err, 0.02);
+}
+
+TEST(WhatIfCatalogTest, OverlayDoesNotTouchBase) {
+  MiniStar mini;
+  const TableDef* d1 = mini.db.catalog().FindTable(mini.d1);
+  std::vector<IndexDef> hypo = {MakeWhatIfIndex("w1", *d1, {0}, 10'000),
+                                MakeWhatIfIndex("w2", *d1, {1}, 10'000)};
+  std::vector<IndexId> ids;
+  auto overlay = CatalogWithIndexes(mini.db.catalog(), hypo, &ids);
+  ASSERT_TRUE(overlay.ok());
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(overlay->NumIndexes(), 2u);
+  EXPECT_EQ(mini.db.catalog().NumIndexes(), 0u);
+}
+
+TEST(WhatIfCatalogTest, SubsetKeepsOnlyRequested) {
+  MiniStar mini;
+  const TableDef* d1 = mini.db.catalog().FindTable(mini.d1);
+  std::vector<IndexDef> cands = {MakeWhatIfIndex("w1", *d1, {0}, 10'000),
+                                 MakeWhatIfIndex("w2", *d1, {1}, 10'000),
+                                 MakeWhatIfIndex("w3", *d1, {2}, 10'000)};
+  auto set = MakeCandidateSet(mini.db.catalog(), cands);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->candidate_ids.size(), 3u);
+  const Catalog sub = set->Subset({set->candidate_ids[1]});
+  EXPECT_EQ(sub.NumIndexes(), 1u);
+  EXPECT_NE(sub.FindIndex(set->candidate_ids[1]), nullptr);
+  // Ids are stable: the subset keeps the universe id.
+  EXPECT_EQ(sub.FindIndex(set->candidate_ids[1])->name, "w2");
+}
+
+TEST(WhatIfCatalogTest, CandidateSetPreservesBaseIndexes) {
+  MiniStar mini;
+  ASSERT_TRUE(mini.Materialize(1'000, 100).ok());
+  auto real = mini.db.BuildIndex("real_idx", mini.d1, {0});
+  ASSERT_TRUE(real.ok());
+  const TableDef* d1 = mini.db.catalog().FindTable(mini.d1);
+  std::vector<IndexDef> cands = {MakeWhatIfIndex("w1", *d1, {1}, 100)};
+  auto set = MakeCandidateSet(mini.db.catalog(), cands);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->base_index_ids.size(), 1u);
+  // Subset with no candidates still contains the real index.
+  const Catalog sub = set->Subset({});
+  EXPECT_EQ(sub.NumIndexes(), 1u);
+  EXPECT_NE(sub.FindIndexByName("real_idx"), nullptr);
+}
+
+TEST(WhatIfCatalogTest, DuplicateCandidateNamesRejected) {
+  MiniStar mini;
+  const TableDef* d1 = mini.db.catalog().FindTable(mini.d1);
+  std::vector<IndexDef> dup = {MakeWhatIfIndex("w", *d1, {0}, 100),
+                               MakeWhatIfIndex("w", *d1, {1}, 100)};
+  auto set = MakeCandidateSet(mini.db.catalog(), dup);
+  EXPECT_FALSE(set.ok());
+}
+
+}  // namespace
+}  // namespace pinum

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "workload/star_schema.h"
+
+namespace pinum {
+namespace {
+
+TEST(StarSchemaTest, PaperLayout28Dimensions) {
+  StarSchemaSpec spec;
+  auto w = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  // 1 fact + 8 level-1 + 20 level-2 = 29 tables.
+  EXPECT_EQ(w->tables().size(), 29u);
+  const TableDef* fact = w->db().catalog().FindTable(w->fact_table());
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->name, "fact");
+  // fact: id + 8 fks + 20 payload = 29 columns.
+  EXPECT_EQ(fact->columns.size(), 29u);
+  // Snowflake foreign keys: 8 (fact->L1) + 20 (L1->L2).
+  EXPECT_EQ(w->db().catalog().foreign_keys().size(), 28u);
+}
+
+TEST(StarSchemaTest, TenQueriesWithConfiguredSizes) {
+  StarSchemaSpec spec;
+  auto w = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->queries().size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    const Query& q = w->queries()[i];
+    EXPECT_EQ(static_cast<int>(q.tables.size()), spec.query_sizes[i])
+        << q.name;
+    // Connected via FK joins: n tables need n-1 join predicates.
+    EXPECT_EQ(q.joins.size(), q.tables.size() - 1) << q.name;
+    EXPECT_FALSE(q.select.empty()) << q.name;
+    EXPECT_FALSE(q.order_by.empty()) << q.name;
+    EXPECT_EQ(q.filters.size(),
+              static_cast<size_t>(spec.filters_per_query))
+        << q.name;
+    // The fact table anchors every query.
+    EXPECT_EQ(q.tables[0], w->fact_table()) << q.name;
+  }
+}
+
+TEST(StarSchemaTest, FiltersHaveTargetSelectivity) {
+  StarSchemaSpec spec;
+  auto w = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w.ok());
+  for (const Query& q : w->queries()) {
+    for (const auto& f : q.filters) {
+      const ColumnStats* cs = w->db().stats().FindColumn(f.column);
+      ASSERT_NE(cs, nullptr);
+      const double sel = RestrictionSelectivity(*cs, f.op, f.constant);
+      EXPECT_NEAR(sel, spec.filter_selectivity, 0.005) << q.name;
+    }
+  }
+}
+
+TEST(StarSchemaTest, SyntheticStatsMatchLogicalRows) {
+  StarSchemaSpec spec;
+  auto w = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w.ok());
+  for (TableId t : w->tables()) {
+    const TableStats* stats = w->db().stats().Find(t);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->row_count, w->LogicalRows(t));
+    EXPECT_GE(stats->heap_pages, 1);
+    // id column: unique, correlated (surrogate key).
+    EXPECT_EQ(stats->columns[0].n_distinct, stats->row_count);
+    EXPECT_EQ(stats->columns[0].correlation, 1.0);
+  }
+  // Fact is the large table.
+  const TableStats* fact = w->db().stats().Find(w->fact_table());
+  EXPECT_EQ(fact->row_count, 60'000'000);
+}
+
+TEST(StarSchemaTest, DeterministicForSameSeed) {
+  StarSchemaSpec spec;
+  auto w1 = StarSchemaWorkload::Create(spec);
+  auto w2 = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(w1->queries()[i].ToSql(w1->db().catalog()),
+              w2->queries()[i].ToSql(w2->db().catalog()));
+  }
+}
+
+TEST(StarSchemaTest, DifferentSeedsChangeQueries) {
+  StarSchemaSpec s1, s2;
+  s2.seed = 1234;
+  auto w1 = StarSchemaWorkload::Create(s1);
+  auto w2 = StarSchemaWorkload::Create(s2);
+  int differ = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    if (w1->queries()[i].ToSql(w1->db().catalog()) !=
+        w2->queries()[i].ToSql(w2->db().catalog())) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(StarSchemaTest, ScaleShrinksRowCounts) {
+  StarSchemaSpec small;
+  small.scale = 0.001;
+  auto w = StarSchemaWorkload::Create(small);
+  ASSERT_TRUE(w.ok());
+  const TableStats* fact = w->db().stats().Find(w->fact_table());
+  EXPECT_EQ(fact->row_count, 60'000);
+}
+
+TEST(StarSchemaTest, MaterializeGeneratesConsistentData) {
+  StarSchemaSpec spec;
+  spec.scale = 1.0;
+  auto w = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->Materialize(0.0002).ok());  // fact: 12k rows
+  const TableData* fact = w->db().FindData(w->fact_table());
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->NumRows(), 12'000);
+  // FK values reference existing parent ids.
+  const TableDef* def = w->db().catalog().FindTable(w->fact_table());
+  for (size_t c = 0; c < def->columns.size(); ++c) {
+    if (def->columns[c].name.rfind("fk_", 0) != 0) continue;
+    const TableDef* parent = w->db().catalog().FindTableByName(
+        def->columns[c].name.substr(3));
+    const TableData* pdata = w->db().FindData(parent->id);
+    for (int64_t r = 0; r < fact->NumRows(); r += 997) {
+      const Value v = fact->at(r, static_cast<ColumnIdx>(c));
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, pdata->NumRows());
+    }
+  }
+  // ANALYZE replaced synthetic stats with measured ones.
+  const TableStats* stats = w->db().stats().Find(w->fact_table());
+  EXPECT_EQ(stats->row_count, 12'000);
+}
+
+TEST(StarSchemaTest, GroupByFractionAddsAggregates) {
+  StarSchemaSpec spec;
+  spec.group_by_fraction = 1.0;
+  auto w = StarSchemaWorkload::Create(spec);
+  ASSERT_TRUE(w.ok());
+  int with_group = 0;
+  for (const Query& q : w->queries()) {
+    if (!q.group_by.empty()) {
+      ++with_group;
+      EXPECT_EQ(q.aggregate, AggKind::kSum);
+    }
+  }
+  EXPECT_GT(with_group, 5);
+}
+
+TEST(StarSchemaTest, InvalidSpecRejected) {
+  StarSchemaSpec bad;
+  bad.l1_children = {1, 2};  // size mismatch with num_l1 = 8
+  auto w = StarSchemaWorkload::Create(bad);
+  EXPECT_FALSE(w.ok());
+}
+
+}  // namespace
+}  // namespace pinum
