@@ -43,6 +43,23 @@ inline CandidateSet MakeCandidates(const StarSchemaWorkload& w) {
   return std::move(*set);
 }
 
+/// Replicates a workload `times`-fold (renamed clones), modeling a
+/// production workload where the same query templates recur — the regime
+/// in which cross-query access-cost sharing pays off.
+inline std::vector<Query> ReplicateQueries(const std::vector<Query>& queries,
+                                           int times) {
+  std::vector<Query> out;
+  out.reserve(queries.size() * static_cast<size_t>(times));
+  for (int r = 0; r < times; ++r) {
+    for (const Query& q : queries) {
+      Query clone = q;
+      if (r > 0) clone.name += "_r" + std::to_string(r);
+      out.push_back(std::move(clone));
+    }
+  }
+  return out;
+}
+
 /// Random atomic configuration over the candidates relevant to `q`
 /// (at most one index per table, each table filled with prob. `p_fill`).
 inline IndexConfig RandomAtomicConfig(const Query& q, const CandidateSet& set,

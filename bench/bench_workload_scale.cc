@@ -1,0 +1,114 @@
+// Workload-scale cache construction: serial vs parallel build throughput
+// and cross-query access-cost sharing, over the paper workload replicated
+// R-fold (recurring query templates).
+//
+// Reports, for PINUM (and classic INUM with --classic):
+//   - serial build wall time (1 thread, no sharing) — the per-query loop
+//     every caller would otherwise write;
+//   - serial build with the shared access-cost store — same wall clock
+//     class, fewer optimizer calls;
+//   - parallel build with sharing (one thread per core) — the speedup
+//     column needs >= 8 hardware threads to show its full spread.
+//
+//   $ ./bench_workload_scale [replicas] [--classic]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "workload/cache_manager.h"
+
+namespace pinum {
+namespace {
+
+struct RunResult {
+  double wall_ms = 0;
+  int64_t plan_calls = 0;
+  int64_t access_calls = 0;
+  int64_t saved = 0;
+};
+
+RunResult RunBuild(const StarSchemaWorkload& w, const CandidateSet& set,
+                   const std::vector<Query>& queries, CacheBuildMode mode,
+                   int threads, bool share) {
+  WorkloadCacheOptions opts;
+  opts.mode = mode;
+  opts.num_threads = threads;
+  opts.share_access_costs = share;
+  WorkloadCacheBuilder builder(&w.db().catalog(), &set, &w.db().stats(),
+                               opts);
+  auto result = builder.BuildAll(queries);
+  if (!result.ok()) {
+    std::fprintf(stderr, "build: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return {result->totals.wall_ms, result->totals.plan_cache_calls,
+          result->totals.access_cost_calls, result->totals.access_calls_saved};
+}
+
+void Report(const char* label, const RunResult& r, double baseline_ms) {
+  std::printf("%-26s %10.1f ms %8.2fx | plan calls %6lld | access calls "
+              "%6lld (saved %lld)\n",
+              label, r.wall_ms, baseline_ms / r.wall_ms,
+              static_cast<long long>(r.plan_calls),
+              static_cast<long long>(r.access_calls),
+              static_cast<long long>(r.saved));
+}
+
+int Run(int replicas, bool include_classic) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  StarSchemaWorkload w = bench::MakePaperWorkload();
+  CandidateSet set = bench::MakeCandidates(w);
+  const std::vector<Query> queries =
+      bench::ReplicateQueries(w.queries(), replicas);
+
+  std::printf("# workload-scale cache construction\n");
+  std::printf("# %zu queries (%zu templates x %d), %zu candidates, "
+              "%d hardware threads\n\n",
+              queries.size(), w.queries().size(), replicas,
+              set.candidate_ids.size(), hw);
+
+  std::printf("== PINUM ==\n");
+  const RunResult serial =
+      RunBuild(w, set, queries, CacheBuildMode::kPinum, 1, false);
+  Report("serial, no sharing", serial, serial.wall_ms);
+  Report("serial, shared access",
+         RunBuild(w, set, queries, CacheBuildMode::kPinum, 1, true),
+         serial.wall_ms);
+  Report("parallel, shared access",
+         RunBuild(w, set, queries, CacheBuildMode::kPinum, 0, true),
+         serial.wall_ms);
+
+  if (include_classic) {
+    std::printf("\n== classic INUM ==\n");
+    const RunResult cserial =
+        RunBuild(w, set, queries, CacheBuildMode::kClassic, 1, false);
+    Report("serial, no sharing", cserial, cserial.wall_ms);
+    Report("serial, shared access",
+           RunBuild(w, set, queries, CacheBuildMode::kClassic, 1, true),
+           cserial.wall_ms);
+    Report("parallel, shared access",
+           RunBuild(w, set, queries, CacheBuildMode::kClassic, 0, true),
+           cserial.wall_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinum
+
+int main(int argc, char** argv) {
+  int replicas = 4;
+  bool classic = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--classic") == 0) {
+      classic = true;
+    } else {
+      replicas = std::atoi(argv[i]);
+      if (replicas < 1) replicas = 1;
+    }
+  }
+  return pinum::Run(replicas, classic);
+}

@@ -1,7 +1,8 @@
 // Index-selection tool (the paper's Section V-E application): generates
-// the star-schema workload, builds PINUM caches with a handful of
-// optimizer calls per query, and greedily picks indexes under a space
-// budget — evaluating thousands of configurations with pure arithmetic.
+// the star-schema workload, builds every query's PINUM cache in parallel
+// through the WorkloadCacheBuilder (sharing access-cost calls across
+// queries), and greedily picks indexes under a space budget — evaluating
+// thousands of configurations with pure arithmetic.
 //
 //   $ ./advisor_tool [budget_mb]
 #include <cstdio>
@@ -9,8 +10,8 @@
 
 #include "advisor/candidate_generator.h"
 #include "advisor/greedy_advisor.h"
-#include "pinum/pinum_builder.h"
 #include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
 #include "workload/star_schema.h"
 
 using namespace pinum;
@@ -32,39 +33,39 @@ int main(int argc, char** argv) {
   auto set = MakeCandidateSet(db.catalog(), candidates);
   std::printf("candidate indexes: %zu\n", set->candidate_ids.size());
 
-  // One PINUM cache per query: 4 optimizer calls each, instead of the
-  // hundreds-to-thousands classic INUM would need.
-  std::vector<InumCache> caches;
-  int64_t total_calls = 0;
-  for (const Query& q : workload->queries()) {
-    PinumBuildOptions opts;
-    PinumBuildStats stats;
-    auto cache = BuildInumCachePinum(q, db.catalog(), *set, db.stats(),
-                                     opts, &stats);
-    if (!cache.ok()) {
-      std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
-                   cache.status().ToString().c_str());
-      return 1;
-    }
-    total_calls += stats.plan_cache_calls + stats.access_cost_calls;
-    std::printf("  %s: %llu IOCs -> %zu cached plans (%lld optimizer "
-                "calls, %.1f ms)\n",
-                q.name.c_str(),
-                static_cast<unsigned long long>(stats.iocs_total),
-                stats.plans_cached,
-                static_cast<long long>(stats.plan_cache_calls +
-                                       stats.access_cost_calls),
-                stats.plan_cache_ms + stats.access_cost_ms);
-    caches.push_back(std::move(*cache));
+  // One PINUM cache per query — a handful of optimizer calls each instead
+  // of the hundreds-to-thousands classic INUM would need — built
+  // concurrently with access-cost calls shared across queries.
+  WorkloadCacheBuilder builder(&db.catalog(), &*set, &db.stats());
+  auto built = builder.BuildAll(workload->queries());
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
   }
-  std::printf("total optimizer calls: %lld\n",
-              static_cast<long long>(total_calls));
+  for (size_t i = 0; i < workload->queries().size(); ++i) {
+    const QueryBuildStats& qs = built->per_query[i];
+    std::printf("  %s: %zu cached plans (%lld optimizer calls, "
+                "%lld shared)\n",
+                workload->queries()[i].name.c_str(), qs.plans_cached,
+                static_cast<long long>(qs.plan_cache_calls +
+                                       qs.access_cost_calls),
+                static_cast<long long>(qs.access_calls_saved));
+  }
+  std::printf("total optimizer calls: %lld (%lld saved by sharing, "
+              "%.1f ms wall)\n",
+              static_cast<long long>(built->totals.plan_cache_calls +
+                                     built->totals.access_cost_calls),
+              static_cast<long long>(built->totals.access_calls_saved),
+              built->totals.wall_ms);
 
   AdvisorOptions aopts;
   if (argc > 1) {
     aopts.budget_bytes = std::atoll(argv[1]) * 1024 * 1024;
   }
-  const AdvisorResult result = RunGreedyAdvisor(caches, *set, aopts);
+  // Batched pricing: every greedy iteration evaluates all surviving
+  // candidates as one parallel batch on the builder's pool.
+  const WorkloadCostEvaluator evaluator(&built->caches, builder.pool());
+  const AdvisorResult result = RunGreedyAdvisor(evaluator, *set, aopts);
 
   std::printf("\nbudget %.0f MB -> %zu indexes chosen (%.0f MB), "
               "%lld what-if evaluations answered from the cache\n",

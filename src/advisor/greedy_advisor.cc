@@ -6,23 +6,31 @@
 
 namespace pinum {
 
-namespace {
-
-double WorkloadCost(const std::vector<InumCache>& caches,
-                    const IndexConfig& config) {
+double WorkloadCostEvaluator::Cost(const IndexConfig& config) const {
   double total = 0;
-  for (const auto& cache : caches) total += cache.Cost(config);
+  for (const InumCache& cache : *caches_) total += cache.Cost(config);
   return total;
 }
 
-}  // namespace
+std::vector<double> WorkloadCostEvaluator::BatchCost(
+    const std::vector<IndexConfig>& configs) const {
+  std::vector<double> costs(configs.size());
+  if (pool_ == nullptr || configs.size() <= 1) {
+    for (size_t i = 0; i < configs.size(); ++i) costs[i] = Cost(configs[i]);
+    return costs;
+  }
+  pool_->ParallelFor(static_cast<int64_t>(configs.size()), [&](int64_t i) {
+    costs[static_cast<size_t>(i)] = Cost(configs[static_cast<size_t>(i)]);
+  });
+  return costs;
+}
 
-AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
+AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options) {
   AdvisorResult result;
   IndexConfig chosen;
-  result.workload_cost_before = WorkloadCost(caches, chosen);
+  result.workload_cost_before = evaluator.Cost(chosen);
   ++result.evaluations;
   double current_cost = result.workload_cost_before;
   int64_t used_bytes = 0;
@@ -33,22 +41,36 @@ AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
         static_cast<int>(chosen.size()) >= options.max_indexes) {
       break;
     }
-    IndexId best = kInvalidIndexId;
-    double best_cost = current_cost;
-    int64_t best_size = 0;
+    // One batch per iteration: every surviving candidate appended to the
+    // current configuration, priced together.
+    std::vector<IndexId> batch_ids;
+    std::vector<int64_t> batch_sizes;
+    std::vector<IndexConfig> batch;
     for (IndexId cand : remaining) {
       const IndexDef* def = candidates.universe.FindIndex(cand);
       if (def == nullptr) continue;
       const int64_t size = IndexSizeBytes(*def);
       if (used_bytes + size > options.budget_bytes) continue;
-      chosen.push_back(cand);
-      const double cost = WorkloadCost(caches, chosen);
-      ++result.evaluations;
-      chosen.pop_back();
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = cand;
-        best_size = size;
+      IndexConfig config = chosen;
+      config.push_back(cand);
+      batch_ids.push_back(cand);
+      batch_sizes.push_back(size);
+      batch.push_back(std::move(config));
+    }
+    if (batch.empty()) break;
+    const std::vector<double> costs = evaluator.BatchCost(batch);
+    result.evaluations += static_cast<int64_t>(batch.size());
+
+    // Strictly-better-in-candidate-order selection: identical to pricing
+    // the candidates one at a time.
+    IndexId best = kInvalidIndexId;
+    double best_cost = current_cost;
+    int64_t best_size = 0;
+    for (size_t i = 0; i < batch_ids.size(); ++i) {
+      if (costs[i] < best_cost) {
+        best_cost = costs[i];
+        best = batch_ids[i];
+        best_size = batch_sizes[i];
       }
     }
     if (best == kInvalidIndexId) break;
@@ -69,6 +91,13 @@ AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
   result.workload_cost_after = current_cost;
   result.total_size_bytes = used_bytes;
   return result;
+}
+
+AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options) {
+  return RunGreedyAdvisor(WorkloadCostEvaluator(&caches), candidates,
+                          options);
 }
 
 }  // namespace pinum

@@ -7,10 +7,37 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "inum/cache.h"
 #include "whatif/candidate_set.h"
 
 namespace pinum {
+
+/// Batched what-if costing over a workload's per-query caches: prices a
+/// whole set of candidate configurations in one call — in parallel when
+/// given a pool — instead of looping query-by-query at every call site.
+/// Results are written into per-configuration slots, so batched and
+/// serial pricing return bit-identical costs.
+class WorkloadCostEvaluator {
+ public:
+  /// `caches` must outlive the evaluator. `pool` is optional (serial
+  /// pricing when null) and not owned.
+  explicit WorkloadCostEvaluator(const std::vector<InumCache>* caches,
+                                 ThreadPool* pool = nullptr)
+      : caches_(caches), pool_(pool) {}
+
+  /// Workload cost of one configuration: sum of per-query cache costs.
+  double Cost(const IndexConfig& config) const;
+
+  /// Workload cost of every configuration; result[i] prices configs[i].
+  std::vector<double> BatchCost(const std::vector<IndexConfig>& configs) const;
+
+  size_t NumQueries() const { return caches_->size(); }
+
+ private:
+  const std::vector<InumCache>* caches_;
+  ThreadPool* pool_;
+};
 
 /// Advisor configuration.
 struct AdvisorOptions {
@@ -45,8 +72,14 @@ struct AdvisorResult {
 
 /// Runs the greedy selection: repeatedly adds the candidate with the
 /// largest workload benefit until the space budget would be violated or
-/// no candidate helps. Workload cost of a configuration is the sum of
-/// per-query InumCache costs — pure arithmetic, no optimizer calls.
+/// no candidate helps. Each iteration prices all surviving candidates as
+/// one batch through the evaluator — pure arithmetic, no optimizer
+/// calls, parallel when the evaluator has a pool.
+AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options);
+
+/// Convenience overload: serial pricing over `caches`.
 AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options);

@@ -1,0 +1,53 @@
+// A small fixed-size thread pool used to parallelize embarrassingly
+// parallel build work (one INUM/PINUM cache per workload query, batched
+// configuration pricing). Results are written into caller-indexed slots,
+// so output is deterministic regardless of scheduling.
+#ifndef PINUM_COMMON_THREAD_POOL_H_
+#define PINUM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pinum {
+
+/// Fixed pool of worker threads with a shared FIFO task queue.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 uses std::thread::hardware_concurrency(). A pool
+  /// of size 1 runs everything on the caller's thread (no workers), which
+  /// makes single-threaded runs exactly sequential — the determinism
+  /// baseline the tests compare parallel runs against.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that can make progress concurrently (>= 1; counts
+  /// the caller participating in ParallelFor).
+  int size() const { return size_; }
+
+  /// Runs `fn(i)` for every i in [0, n). Blocks until all iterations
+  /// finish. The caller participates, so the pool is never idle while the
+  /// caller spins. `fn` must not call ParallelFor on the same pool.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_COMMON_THREAD_POOL_H_

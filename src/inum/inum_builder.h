@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "inum/access_cost_store.h"
 #include "inum/cache.h"
 #include "optimizer/interesting_orders.h"
 #include "optimizer/knobs.h"
@@ -21,6 +22,11 @@ struct InumBuildOptions {
   /// "INUM caches two optimal plans for each interesting order
   /// combination, one with nested loop joins and one without").
   bool include_nlj_plans = true;
+  /// When set, per-candidate access-cost calls whose answer another
+  /// workload query already computed (same candidate, same table
+  /// footprint) are served from the store instead of the optimizer.
+  /// The store must belong to the same (catalog, candidates, stats).
+  SharedAccessCostStore* shared_access = nullptr;
   PlannerKnobs base_knobs;
 };
 
@@ -28,6 +34,8 @@ struct InumBuildOptions {
 struct InumBuildStats {
   int64_t plan_cache_calls = 0;
   int64_t access_cost_calls = 0;
+  /// Optimizer calls answered by InumBuildOptions::shared_access.
+  int64_t access_calls_saved = 0;
   double plan_cache_ms = 0;
   double access_cost_ms = 0;
   uint64_t iocs_enumerated = 0;

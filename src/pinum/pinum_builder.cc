@@ -134,18 +134,38 @@ StatusOr<InumCache> BuildInumCachePinum(const Query& query,
   local.plan_cache_ms = plan_timer.ElapsedMillis();
 
   // ---- Access costs: ONE call with every candidate visible and the
-  // keep_all_access_paths hook (Section V-C). ----
+  // keep_all_access_paths hook (Section V-C) — or ZERO calls when every
+  // table footprint was already priced by another workload query. ----
   Stopwatch access_timer;
   {
-    Optimizer opt(&candidates.universe, &stats);
-    PlannerKnobs knobs = options.base_knobs;
-    knobs.hooks.keep_all_access_paths = true;
-    knobs.hooks.export_all_plans = false;
-    PINUM_ASSIGN_OR_RETURN(OptimizeResult result, opt.Optimize(query, knobs));
-    for (const auto& info : result.access_info) {
-      cache.mutable_access()->Absorb(info);
+    SharedAccessCostStore* store = options.shared_access;
+    std::vector<TableAccessInfo> shared(query.tables.size());
+    bool all_hit = store != nullptr;
+    for (size_t pos = 0; all_hit && pos < query.tables.size(); ++pos) {
+      all_hit = store->LookupTable(
+          TableContextSignature(query, query.tables[pos]), &shared[pos]);
     }
-    ++local.access_cost_calls;
+    if (all_hit && !query.tables.empty()) {
+      for (size_t pos = 0; pos < query.tables.size(); ++pos) {
+        shared[pos].pos = static_cast<int>(pos);
+        cache.mutable_access()->Absorb(shared[pos]);
+      }
+      ++local.access_calls_saved;
+    } else {
+      Optimizer opt(&candidates.universe, &stats);
+      PlannerKnobs knobs = options.base_knobs;
+      knobs.hooks.keep_all_access_paths = true;
+      knobs.hooks.export_all_plans = false;
+      PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
+                             opt.Optimize(query, knobs));
+      for (const auto& info : result.access_info) {
+        cache.mutable_access()->Absorb(info);
+        if (store != nullptr) {
+          store->StoreTable(TableContextSignature(query, info.table), info);
+        }
+      }
+      ++local.access_cost_calls;
+    }
   }
   local.access_cost_ms = access_timer.ElapsedMillis();
 

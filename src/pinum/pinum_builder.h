@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "inum/access_cost_store.h"
 #include "inum/cache.h"
 #include "optimizer/knobs.h"
 #include "query/query.h"
@@ -38,6 +39,11 @@ struct PinumBuildOptions {
   /// lookup" (Section V-D) — and a slower build. Ablation A2 measures the
   /// trade-off.
   bool nlj_export_all = false;
+  /// When set, the access-cost call is skipped entirely for queries whose
+  /// every table footprint another workload query already priced (same
+  /// candidate universe). The store must belong to the same
+  /// (catalog, candidates, stats).
+  SharedAccessCostStore* shared_access = nullptr;
   PlannerKnobs base_knobs;
 };
 
@@ -45,6 +51,8 @@ struct PinumBuildOptions {
 struct PinumBuildStats {
   int64_t plan_cache_calls = 0;
   int64_t access_cost_calls = 0;
+  /// Optimizer calls answered by PinumBuildOptions::shared_access.
+  int64_t access_calls_saved = 0;
   double plan_cache_ms = 0;
   double access_cost_ms = 0;
   uint64_t iocs_total = 0;

@@ -1,0 +1,82 @@
+#include "workload/cache_manager.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace pinum {
+
+WorkloadCacheBuilder::WorkloadCacheBuilder(const Catalog* base_catalog,
+                                           const CandidateSet* candidates,
+                                           const StatsCatalog* stats,
+                                           WorkloadCacheOptions options)
+    : base_catalog_(base_catalog),
+      candidates_(candidates),
+      stats_(stats),
+      options_(std::move(options)),
+      pool_(options_.num_threads) {}
+
+StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
+    const std::vector<Query>& queries) {
+  const size_t n = queries.size();
+  WorkloadCacheResult result;
+  result.caches.resize(n);
+  result.per_query.resize(n);
+  std::vector<Status> statuses(n);
+
+  SharedAccessCostStore* store =
+      options_.share_access_costs ? &store_ : nullptr;
+
+  Stopwatch wall;
+  pool_.ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
+    const Query& q = queries[static_cast<size_t>(i)];
+    QueryBuildStats& qs = result.per_query[static_cast<size_t>(i)];
+    // Failed builds keep the query's name so batch errors stay
+    // attributable (replicated workloads have many similar queries).
+    auto fail = [&](const Status& st) {
+      statuses[static_cast<size_t>(i)] =
+          Status(st.code(), q.name + ": " + st.message());
+    };
+    if (options_.mode == CacheBuildMode::kPinum) {
+      PinumBuildOptions opts = options_.pinum;
+      opts.shared_access = store;
+      PinumBuildStats stats;
+      auto cache = BuildInumCachePinum(q, *base_catalog_, *candidates_,
+                                       *stats_, opts, &stats);
+      if (!cache.ok()) {
+        fail(cache.status());
+        return;
+      }
+      result.caches[static_cast<size_t>(i)] = std::move(*cache);
+      qs = {stats.plan_cache_calls, stats.access_cost_calls,
+            stats.access_calls_saved, stats.plans_cached};
+    } else {
+      InumBuildOptions opts = options_.inum;
+      opts.shared_access = store;
+      InumBuildStats stats;
+      auto cache = BuildInumCacheClassic(q, *base_catalog_, *candidates_,
+                                         *stats_, opts, &stats);
+      if (!cache.ok()) {
+        fail(cache.status());
+        return;
+      }
+      result.caches[static_cast<size_t>(i)] = std::move(*cache);
+      qs = {stats.plan_cache_calls, stats.access_cost_calls,
+            stats.access_calls_saved, stats.plans_cached};
+    }
+  });
+  result.totals.wall_ms = wall.ElapsedMillis();
+
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  for (const QueryBuildStats& qs : result.per_query) {
+    result.totals.plan_cache_calls += qs.plan_cache_calls;
+    result.totals.access_cost_calls += qs.access_cost_calls;
+    result.totals.access_calls_saved += qs.access_calls_saved;
+    result.totals.plans_cached += qs.plans_cached;
+  }
+  return result;
+}
+
+}  // namespace pinum

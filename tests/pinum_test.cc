@@ -31,17 +31,7 @@ class PinumTest : public ::testing::Test {
 
   /// Random atomic configuration (at most one index per table).
   IndexConfig RandomAtomicConfig(const Query& q, Rng* rng) {
-    std::map<TableId, std::vector<IndexId>> per_table;
-    for (IndexId id : set_.candidate_ids) {
-      const IndexDef* def = set_.universe.FindIndex(id);
-      if (q.PosOfTable(def->table) >= 0) per_table[def->table].push_back(id);
-    }
-    IndexConfig config;
-    for (auto& [table, ids] : per_table) {
-      (void)table;
-      if (rng->Chance(0.6)) config.push_back(ids[rng->Index(ids.size())]);
-    }
-    return config;
+    return ::pinum::RandomAtomicConfig(q, set_, rng);
   }
 
   MiniStar mini_;

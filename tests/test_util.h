@@ -3,15 +3,37 @@
 #ifndef PINUM_TESTS_TEST_UTIL_H_
 #define PINUM_TESTS_TEST_UTIL_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "inum/access_cost_table.h"
 #include "query/query.h"
 #include "stats/table_stats.h"
 #include "storage/database.h"
+#include "whatif/candidate_set.h"
 
 namespace pinum {
+
+/// Random atomic configuration over the candidates relevant to `q` (at
+/// most one index per table, each table filled with prob. `p_fill`) —
+/// the sampling the cache-accuracy tests price configurations with.
+inline IndexConfig RandomAtomicConfig(const Query& q, const CandidateSet& set,
+                                      Rng* rng, double p_fill = 0.6) {
+  std::map<TableId, std::vector<IndexId>> per_table;
+  for (IndexId id : set.candidate_ids) {
+    const IndexDef* def = set.universe.FindIndex(id);
+    if (q.PosOfTable(def->table) >= 0) per_table[def->table].push_back(id);
+  }
+  IndexConfig config;
+  for (auto& [table, ids] : per_table) {
+    (void)table;
+    if (rng->Chance(p_fill)) config.push_back(ids[rng->Index(ids.size())]);
+  }
+  return config;
+}
 
 /// Builds `fact(id, fk_d1, fk_d2, c1, c2)`, `d1(id, c1, c2)`,
 /// `d2(id, c1, c2)` with uniform synthetic statistics.
