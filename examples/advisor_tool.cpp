@@ -57,14 +57,19 @@ int main(int argc, char** argv) {
                                      built->totals.access_cost_calls),
               static_cast<long long>(built->totals.access_calls_saved),
               built->totals.wall_ms);
+  std::printf("sealed for serving: %zu of %zu plans pruned as dominated "
+              "(%.1f ms)\n",
+              built->totals.plans_pruned, built->totals.plans_cached,
+              built->totals.seal_ms);
 
   AdvisorOptions aopts;
   if (argc > 1) {
     aopts.budget_bytes = std::atoll(argv[1]) * 1024 * 1024;
   }
-  // Batched pricing: every greedy iteration evaluates all surviving
-  // candidates as one parallel batch on the builder's pool.
-  const WorkloadCostEvaluator evaluator(&built->caches, builder.pool());
+  // Batched pricing from the sealed serving form: every greedy iteration
+  // evaluates all surviving candidates as one parallel batch on the
+  // builder's pool.
+  const WorkloadCostEvaluator evaluator(&built->sealed, builder.pool());
   const AdvisorResult result = RunGreedyAdvisor(evaluator, *set, aopts);
 
   std::printf("\nbudget %.0f MB -> %zu indexes chosen (%.0f MB), "

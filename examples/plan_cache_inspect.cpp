@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "advisor/candidate_generator.h"
+#include "inum/sealed_cache.h"
 #include "optimizer/interesting_orders.h"
 #include "pinum/pinum_builder.h"
 #include "whatif/candidate_set.h"
@@ -86,14 +87,21 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Seal once for serving: dominated plans pruned, per-slot map probes
+  // flattened into dense per-index vectors.
+  const SealedCache sealed = SealedCache::Seal(*cache, set->NumIndexIds());
+  std::printf("\nsealed for serving: %zu plans (%zu dominated pruned), "
+              "%zu shared access-cost terms\n",
+              sealed.NumPlans(), sealed.NumPlansPruned(), sealed.NumTerms());
+
   // Re-price three configurations without touching the optimizer.
-  std::printf("\ncost derivation (no optimizer calls):\n");
-  std::printf("  no indexes          : %.0f\n", cache->Cost({}));
+  std::printf("\ncost derivation (no optimizer calls, sealed form):\n");
+  std::printf("  no indexes          : %.0f\n", sealed.Cost({}));
   std::printf("  all %3zu candidates : %.0f\n", set->candidate_ids.size(),
-              cache->Cost(set->candidate_ids));
+              sealed.Cost(set->candidate_ids));
   IndexConfig half(set->candidate_ids.begin(),
                    set->candidate_ids.begin() +
                        static_cast<long>(set->candidate_ids.size() / 2));
-  std::printf("  first half          : %.0f\n", cache->Cost(half));
+  std::printf("  first half          : %.0f\n", sealed.Cost(half));
   return 0;
 }

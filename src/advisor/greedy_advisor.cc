@@ -8,7 +8,7 @@ namespace pinum {
 
 double WorkloadCostEvaluator::Cost(const IndexConfig& config) const {
   double total = 0;
-  for (const InumCache& cache : *caches_) total += cache.Cost(config);
+  for (const SealedCache& cache : *caches_) total += cache.Cost(config);
   return total;
 }
 
@@ -93,11 +93,22 @@ AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
   return result;
 }
 
-AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
+AdvisorResult RunGreedyAdvisor(const std::vector<SealedCache>& caches,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options) {
   return RunGreedyAdvisor(WorkloadCostEvaluator(&caches), candidates,
                           options);
+}
+
+AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options) {
+  std::vector<SealedCache> sealed;
+  sealed.reserve(caches.size());
+  for (const InumCache& cache : caches) {
+    sealed.push_back(SealedCache::Seal(cache, candidates.NumIndexIds()));
+  }
+  return RunGreedyAdvisor(sealed, candidates, options);
 }
 
 }  // namespace pinum

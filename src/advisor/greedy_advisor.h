@@ -9,20 +9,25 @@
 
 #include "common/thread_pool.h"
 #include "inum/cache.h"
+#include "inum/sealed_cache.h"
 #include "whatif/candidate_set.h"
 
 namespace pinum {
 
-/// Batched what-if costing over a workload's per-query caches: prices a
-/// whole set of candidate configurations in one call — in parallel when
-/// given a pool — instead of looping query-by-query at every call site.
-/// Results are written into per-configuration slots, so batched and
-/// serial pricing return bit-identical costs.
+/// Batched what-if costing over a workload's per-query sealed caches:
+/// prices a whole set of candidate configurations in one call — in
+/// parallel when given a pool — instead of looping query-by-query at
+/// every call site. Results are written into per-configuration slots, so
+/// batched and serial pricing return bit-identical costs.
+///
+/// The evaluator consumes the serve-time SealedCache form only; seal the
+/// build-time InumCaches once (WorkloadCacheBuilder does this) and keep
+/// serving from the sealed vector.
 class WorkloadCostEvaluator {
  public:
   /// `caches` must outlive the evaluator. `pool` is optional (serial
   /// pricing when null) and not owned.
-  explicit WorkloadCostEvaluator(const std::vector<InumCache>* caches,
+  explicit WorkloadCostEvaluator(const std::vector<SealedCache>* caches,
                                  ThreadPool* pool = nullptr)
       : caches_(caches), pool_(pool) {}
 
@@ -35,7 +40,7 @@ class WorkloadCostEvaluator {
   size_t NumQueries() const { return caches_->size(); }
 
  private:
-  const std::vector<InumCache>* caches_;
+  const std::vector<SealedCache>* caches_;
   ThreadPool* pool_;
 };
 
@@ -79,7 +84,14 @@ AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options);
 
-/// Convenience overload: serial pricing over `caches`.
+/// Convenience overload: serial pricing over already-sealed caches.
+AdvisorResult RunGreedyAdvisor(const std::vector<SealedCache>& caches,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options);
+
+/// Convenience overload for freshly built caches: seals each once (the
+/// cheap, one-time serving conversion), then runs the greedy selection
+/// against the sealed forms.
 AdvisorResult RunGreedyAdvisor(const std::vector<InumCache>& caches,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options);

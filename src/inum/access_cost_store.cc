@@ -56,7 +56,10 @@ void SharedAccessCostStore::StoreTable(const std::string& signature,
                                        const TableAccessInfo& info) {
   std::lock_guard<std::mutex> lock(mu_);
   by_table_.emplace(signature, info);
-  fallback_.emplace(signature, info);
+  // The universe-visible answer is authoritative for the fallback tier:
+  // it must replace any narrower answer stored earlier under the same
+  // signature, never be masked by it.
+  fallback_.insert_or_assign(signature, info);
 }
 
 bool SharedAccessCostStore::LookupCandidate(IndexId candidate,
@@ -77,8 +80,10 @@ void SharedAccessCostStore::StoreCandidate(IndexId candidate,
                                            const std::string& signature,
                                            const TableAccessInfo& info) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Candidate-specific answers never reach the fallback tier: the info
+  // carries one candidate's access paths, and a first-wins write here
+  // would permanently mask the base-table answer for this signature.
   by_candidate_.emplace(std::make_pair(candidate, signature), info);
-  fallback_.emplace(signature, info);
 }
 
 void SharedAccessCostStore::StoreFallback(const std::string& signature,

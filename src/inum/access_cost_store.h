@@ -55,11 +55,15 @@ class SharedAccessCostStore {
   void StoreCandidate(IndexId candidate, const std::string& signature,
                       const TableAccessInfo& info);
 
-  /// Fallback info for a table signature, populated verbatim from every
-  /// stored answer. Serves tables none of whose candidate calls ran
-  /// (classic builds with every call shared): under equal footprints the
-  /// stored answer — heap plus whatever indexes its call saw — is
-  /// exactly what an unshared build would have absorbed for the table.
+  /// Fallback info for a table signature. Serves tables none of whose
+  /// candidate calls ran (classic builds with every call shared): under
+  /// equal footprints the stored answer — heap plus whatever indexes its
+  /// call saw — is exactly what an unshared build would have absorbed for
+  /// the table. Write ordering: StoreTable's universe-visible answer is
+  /// authoritative (overwrites); StoreFallback's base-only answers are
+  /// first-wins (equal keys carry identical values); StoreCandidate never
+  /// writes this tier, so a candidate-specific answer can never mask the
+  /// base-table one.
   bool LookupFallback(const std::string& signature,
                       TableAccessInfo* out) const;
   /// Registers `info` under `signature` (classic builds call this for

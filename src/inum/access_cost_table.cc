@@ -23,8 +23,19 @@ void AccessCostTable::Absorb(const TableAccessInfo& info) {
     c.index = opt.index;
     c.scan_cost = std::min(c.scan_cost, opt.cost.total);
     if (!opt.order.empty()) {
-      c.order_column = opt.order.Leading();
-      c.ordered_cost = std::min(c.ordered_cost, opt.cost.total);
+      // Minimize per delivered order column: an index whose scan options
+      // deliver different orders must not advertise one column's cheapest
+      // cost under another column.
+      const ColumnRef lead = opt.order.Leading();
+      auto it = std::find_if(c.ordered.begin(), c.ordered.end(),
+                             [&](const IndexAccessCosts::OrderedCost& o) {
+                               return o.column == lead;
+                             });
+      if (it == c.ordered.end()) {
+        c.ordered.push_back({lead, opt.cost.total});
+      } else {
+        it->cost = std::min(it->cost, opt.cost.total);
+      }
     }
   }
   for (const ProbeOption& probe : info.probes) {
@@ -33,6 +44,7 @@ void AccessCostTable::Absorb(const TableAccessInfo& info) {
     if (probe.cost_per_probe.total < c.probe_cost) {
       c.probe_cost = probe.cost_per_probe.total;
       c.probe_rows = probe.rows_per_probe;
+      c.probe_column = probe.column;
     }
   }
 }
@@ -66,8 +78,8 @@ double AccessCostTable::Ordered(int pos, ColumnRef col,
   double best = kInfiniteCost;
   for (IndexId id : config) {
     auto it = t.by_index.find(id);
-    if (it != t.by_index.end() && it->second.order_column == col) {
-      best = std::min(best, it->second.ordered_cost);
+    if (it != t.by_index.end()) {
+      best = std::min(best, it->second.OrderedCostFor(col));
     }
   }
   return best;
@@ -82,7 +94,7 @@ double AccessCostTable::Probe(int pos, ColumnRef col,
   double best = kInfiniteCost;
   for (IndexId id : config) {
     auto it = t.by_index.find(id);
-    if (it != t.by_index.end() && it->second.order_column == col) {
+    if (it != t.by_index.end() && it->second.probe_column == col) {
       best = std::min(best, it->second.probe_cost);
     }
   }

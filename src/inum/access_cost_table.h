@@ -23,19 +23,42 @@ using IndexConfig = std::vector<IndexId>;
 inline constexpr double kInfiniteCost =
     std::numeric_limits<double>::infinity();
 
+/// The "requirement cannot be met" sentinel test. Access costs are
+/// compared against kInfiniteCost in several layers; funneling the
+/// float-equality through one named helper keeps the sentinel's meaning
+/// (and any future representation change) in one place.
+inline bool IsInfinite(double cost) { return cost == kInfiniteCost; }
+
 /// Access costs of one index for one query table.
 struct IndexAccessCosts {
+  /// Cheapest scan delivering one interesting order.
+  struct OrderedCost {
+    ColumnRef column;
+    double cost = kInfiniteCost;
+  };
+
   IndexId index = kInvalidIndexId;
-  /// Leading key column (the interesting order the index covers).
-  ColumnRef order_column;
+  /// Probe column (the index's leading key column); invalid when no
+  /// probe option was absorbed.
+  ColumnRef probe_column;
   /// Cheapest scan through this index (any variant).
   double scan_cost = kInfiniteCost;
-  /// Cheapest scan that *delivers the index's order*.
-  double ordered_cost = kInfiniteCost;
+  /// Cheapest scan per delivered order column. Scan options of one index
+  /// can deliver different orders (e.g. forward/backward variants), so
+  /// the minimum is tracked per column, never mixed across columns.
+  std::vector<OrderedCost> ordered;
   /// Cheapest single equality probe (inner of an index NLJ);
   /// infinite when the leading column is not a join column.
   double probe_cost = kInfiniteCost;
   double probe_rows = 0;
+
+  /// Cheapest scan delivering order `col`; infinite when none does.
+  double OrderedCostFor(ColumnRef col) const {
+    for (const OrderedCost& o : ordered) {
+      if (o.column == col) return o.cost;
+    }
+    return kInfiniteCost;
+  }
 };
 
 /// Access-cost table for one query.

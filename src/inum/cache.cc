@@ -1,7 +1,6 @@
 #include "inum/cache.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 namespace pinum {
@@ -57,11 +56,19 @@ void InumCache::AddPlan(const Path& plan, const Catalog& catalog,
   if (it != by_key_.end()) {
     CachedPlan& existing = plans_[it->second];
     if (cached.internal_cost < existing.internal_cost) {
+      if (existing.signature != cached.signature) {
+        auto sig = sig_counts_.find(existing.signature);
+        if (sig != sig_counts_.end() && --sig->second == 0) {
+          sig_counts_.erase(sig);
+        }
+        ++sig_counts_[cached.signature];
+      }
       existing = std::move(cached);
     }
     return;
   }
   by_key_[key] = plans_.size();
+  ++sig_counts_[cached.signature];
   plans_.push_back(std::move(cached));
 }
 
@@ -81,7 +88,7 @@ double InumCache::PlanCost(const CachedPlan& plan,
         ac = access_.Probe(s.table_pos, s.column, config);
         break;
     }
-    if (ac == kInfiniteCost) return kInfiniteCost;
+    if (IsInfinite(ac)) return kInfiniteCost;
     cost += s.multiplier * ac;
   }
   return cost;
@@ -106,12 +113,6 @@ const CachedPlan* InumCache::BestPlan(const IndexConfig& config) const {
     }
   }
   return best;
-}
-
-size_t InumCache::NumUniqueSignatures() const {
-  std::set<std::string> sigs;
-  for (const auto& p : plans_) sigs.insert(p.signature);
-  return sigs.size();
 }
 
 }  // namespace pinum

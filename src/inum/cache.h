@@ -65,12 +65,17 @@ class InumCache {
   const std::vector<CachedPlan>& plans() const { return plans_; }
 
   /// Number of distinct plan-tree signatures (the "unique plans" count of
-  /// the paper's Section IV analysis).
-  size_t NumUniqueSignatures() const;
+  /// the paper's Section IV analysis). Maintained incrementally by
+  /// AddPlan — O(1), not a per-call set rebuild.
+  size_t NumUniqueSignatures() const { return sig_counts_.size(); }
 
  private:
   std::vector<CachedPlan> plans_;
   std::map<std::string, size_t> by_key_;
+  /// Reference counts of plan signatures (a key collision can replace a
+  /// plan with one of a different signature, so plain insertion is not
+  /// enough to keep the distinct count exact).
+  std::map<std::string, size_t> sig_counts_;
   AccessCostTable access_;
 };
 

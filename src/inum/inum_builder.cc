@@ -123,7 +123,7 @@ StatusOr<InumCache> BuildInumCacheClassic(const Query& query,
   if (store != nullptr) {
     bool fallback_needed = false;
     for (size_t pos = 0; pos < query.tables.size(); ++pos) {
-      if (cache.access().HeapCost(static_cast<int>(pos)) != kInfiniteCost) {
+      if (!IsInfinite(cache.access().HeapCost(static_cast<int>(pos)))) {
         continue;
       }
       TableAccessInfo fallback;

@@ -1,0 +1,210 @@
+#include "inum/sealed_cache.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace pinum {
+
+namespace {
+
+/// True when slot `a`'s priced contribution is <= slot `b`'s under every
+/// configuration, in exact floating-point arithmetic:
+///  - equal requirements with a no-larger multiplier, or
+///  - an unordered slot against an ordered one (for any table and config,
+///    Unordered <= Ordered: every ordered option is also an unordered
+///    option, and the heap only lowers the unordered minimum).
+/// Probe slots are incomparable with scan slots — a probe's unit cost has
+/// no ordering relation to a scan's.
+bool SlotLeq(const LeafSlot& a, const LeafSlot& b) {
+  if (a.table_pos != b.table_pos) return false;
+  if (a.multiplier > b.multiplier) return false;
+  switch (a.req) {
+    case LeafReqKind::kUnordered:
+      return b.req != LeafReqKind::kProbe;
+    case LeafReqKind::kOrdered:
+      return b.req == LeafReqKind::kOrdered && a.column == b.column;
+    case LeafReqKind::kProbe:
+      return b.req == LeafReqKind::kProbe && a.column == b.column;
+  }
+  return false;
+}
+
+/// True when plan `a` prices <= plan `b` under every configuration, so
+/// `b` can never win and is safe to prune without changing Cost() by even
+/// one bit. Requires pointwise slot comparability plus a no-larger
+/// internal cost; no fuzz — sealing must preserve exact equality with the
+/// unsealed cache, unlike the optimizer's build-time dominance which may
+/// trade epsilon regressions for a smaller export.
+bool Dominates(const CachedPlan& a, const CachedPlan& b) {
+  if (a.internal_cost > b.internal_cost) return false;
+  if (a.slots.size() != b.slots.size()) return false;
+  for (size_t i = 0; i < a.slots.size(); ++i) {
+    if (!SlotLeq(a.slots[i], b.slots[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
+  SealedCache sealed;
+  const std::vector<CachedPlan>& plans = cache.plans();
+  const AccessCostTable& access = cache.access();
+  const size_t n = plans.size();
+  const size_t universe =
+      static_cast<size_t>(std::max<IndexId>(num_index_ids, 0));
+
+  // ---- Terms: one per distinct (pos, req, column) slot requirement
+  // across all plans, the dense per-index row filled through the same
+  // AccessCostTable queries the naive path issues — singleton
+  // configurations, so every entry is the exact double the unsealed
+  // Cost() would fold into its min. ----
+  std::vector<Term> terms;
+  std::vector<bool> term_feasible;
+  std::map<std::tuple<int, LeafReqKind, ColumnRef>, uint32_t> term_ids;
+  auto term_of = [&](const LeafSlot& slot) -> uint32_t {
+    const ColumnRef column =
+        slot.req == LeafReqKind::kUnordered ? ColumnRef{} : slot.column;
+    const auto key = std::make_tuple(slot.table_pos, slot.req, column);
+    auto it = term_ids.find(key);
+    if (it != term_ids.end()) return it->second;
+
+    Term term;
+    term.per_index.resize(universe);
+    IndexConfig single(1);
+    auto price = [&](const IndexConfig& config) {
+      switch (slot.req) {
+        case LeafReqKind::kUnordered:
+          return access.Unordered(slot.table_pos, config);
+        case LeafReqKind::kOrdered:
+          return access.Ordered(slot.table_pos, column, config);
+        case LeafReqKind::kProbe:
+          return access.Probe(slot.table_pos, column, config);
+      }
+      return kInfiniteCost;
+    };
+    term.base = price({});
+    bool feasible = !IsInfinite(term.base);
+    for (size_t id = 0; id < universe; ++id) {
+      single[0] = static_cast<IndexId>(id);
+      term.per_index[id] = price(single);
+      feasible = feasible || !IsInfinite(term.per_index[id]);
+    }
+    const uint32_t tid = static_cast<uint32_t>(terms.size());
+    terms.push_back(std::move(term));
+    term_feasible.push_back(feasible);
+    term_ids.emplace(key, tid);
+    return tid;
+  };
+
+  std::vector<std::vector<uint32_t>> plan_terms(n);
+  for (size_t i = 0; i < n; ++i) {
+    plan_terms[i].reserve(plans[i].slots.size());
+    for (const LeafSlot& slot : plans[i].slots) {
+      plan_terms[i].push_back(term_of(slot));
+    }
+  }
+
+  // ---- Pruning. Two exact rules, neither able to move Cost() by a bit:
+  // a plan with a term no universe index (nor the heap) can serve prices
+  // infinite under every configuration; a dominated plan prices >= its
+  // (unpruned) dominator under every configuration. A dominator must
+  // itself be unpruned, which keeps exactly one plan of every
+  // mutual-dominance group; dominance is transitive, so survivors cover
+  // the pruned plans' dominators too. ----
+  std::vector<bool> pruned(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t t : plan_terms[i]) {
+      if (!term_feasible[t]) {
+        pruned[i] = true;
+        break;
+      }
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (pruned[j]) continue;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == j || pruned[i]) continue;
+      if (Dominates(plans[i], plans[j])) {
+        pruned[j] = true;
+        break;
+      }
+    }
+  }
+
+  // ---- Survivors, by ascending internal cost (stable: equal internal
+  // costs keep their build order), referencing only the terms they
+  // actually use. ----
+  std::vector<size_t> order;
+  for (size_t i = 0; i < n; ++i) {
+    if (!pruned[i]) order.push_back(i);
+  }
+  sealed.plans_pruned_ = n - order.size();
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return plans[a].internal_cost < plans[b].internal_cost;
+  });
+
+  std::vector<uint32_t> remap(terms.size(), UINT32_MAX);
+  for (size_t idx : order) {
+    const CachedPlan& plan = plans[idx];
+    Plan compact;
+    compact.internal_cost = plan.internal_cost;
+    compact.first_slot = static_cast<uint32_t>(sealed.plan_term_ids_.size());
+    compact.num_slots = static_cast<uint32_t>(plan.slots.size());
+    for (size_t s = 0; s < plan.slots.size(); ++s) {
+      uint32_t& target = remap[plan_terms[idx][s]];
+      if (target == UINT32_MAX) {
+        target = static_cast<uint32_t>(sealed.terms_.size());
+        sealed.terms_.push_back(std::move(terms[plan_terms[idx][s]]));
+      }
+      sealed.plan_term_ids_.push_back(target);
+      sealed.plan_multipliers_.push_back(plan.slots[s].multiplier);
+    }
+    sealed.plans_.push_back(compact);
+  }
+  return sealed;
+}
+
+double SealedCache::Cost(const IndexConfig& config) const {
+  // Resolve every term once per configuration. The scratch buffer is
+  // thread-local so concurrent Cost() calls (the batched evaluator prices
+  // configurations on a pool) never share it.
+  static thread_local std::vector<double> values;
+  values.resize(terms_.size());
+  const size_t universe = terms_.empty() ? 0 : terms_[0].per_index.size();
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    const Term& term = terms_[t];
+    double v = term.base;
+    const double* row = term.per_index.data();
+    for (IndexId id : config) {
+      // Ids outside the sealed universe price as absent, like ids missing
+      // from the unsealed table's per-slot maps.
+      if (id >= 0 && static_cast<size_t>(id) < universe) {
+        v = std::min(v, row[id]);
+      }
+    }
+    values[t] = v;
+  }
+
+  double best = kInfiniteCost;
+  for (const Plan& plan : plans_) {
+    // Plans are sorted by internal cost, a lower bound on plan cost.
+    if (plan.internal_cost >= best) break;
+    double cost = plan.internal_cost;
+    bool feasible = true;
+    const uint32_t end = plan.first_slot + plan.num_slots;
+    for (uint32_t s = plan.first_slot; s < end; ++s) {
+      const double ac = values[plan_term_ids_[s]];
+      if (IsInfinite(ac)) {
+        feasible = false;
+        break;
+      }
+      cost += plan_multipliers_[s] * ac;
+    }
+    if (feasible && cost < best) best = cost;
+  }
+  return best;
+}
+
+}  // namespace pinum

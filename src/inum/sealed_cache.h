@@ -1,0 +1,95 @@
+// The serving-optimized form of a finished InumCache. Sealing happens
+// once after a cache is built; every subsequent what-if question — the
+// advisor issues O(candidates x iterations x queries) of them — is
+// answered from the sealed form:
+//
+//  - plans that can never win are pruned: a plan whose every slot
+//    requires at least as much as another plan's (same kind-or-stronger
+//    requirement, no smaller multiplier) with no smaller internal cost is
+//    dominated (the paper's Section IV redundancy observation applied at
+//    serve time), and a plan with a requirement no universe index can
+//    serve prices infinite under every configuration. The repo's own
+//    builders already eliminate both at build time (Section V-D export
+//    dominance plus requirement relaxation and key dedup — the property
+//    suite pins this), so sealing re-establishes irredundancy as an
+//    invariant of the serve-time type no matter where the cache came
+//    from (merged, persisted, or hand-built caches included);
+//  - per-slot std::map probes are replaced by dense access-cost vectors
+//    indexed by the candidate universe's stable ids (CandidateSet
+//    guarantees id stability), so pricing a configuration is a
+//    branch-light array min-scan;
+//  - distinct slot requirements are deduplicated into shared "terms"
+//    resolved once per configuration instead of once per plan;
+//  - surviving plans are sorted by ascending internal cost, so the scan
+//    early-exits as soon as internal_cost >= best_so_far (access costs
+//    are non-negative, making internal cost a lower bound).
+//
+// Cost() is bit-identical to InumCache::Cost() on every configuration —
+// pruning removes only plans that are pointwise >= a survivor in exact
+// floating-point arithmetic, and the surviving plans' costs are computed
+// from the same doubles in the same per-slot order.
+//
+// The API is seal-only by design: InumCache stays the mutable build-time
+// type, SealedCache the immutable serve-time type; there is no Unseal.
+#ifndef PINUM_INUM_SEALED_CACHE_H_
+#define PINUM_INUM_SEALED_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "inum/cache.h"
+
+namespace pinum {
+
+class SealedCache {
+ public:
+  SealedCache() = default;
+
+  /// Seals `cache` for serving. `num_index_ids` bounds the dense vectors:
+  /// one past the largest IndexId the cache can be asked about (use
+  /// CandidateSet::NumIndexIds()). Configuration entries outside
+  /// [0, num_index_ids) price as absent, exactly as InumCache treats ids
+  /// missing from its access-cost table.
+  static SealedCache Seal(const InumCache& cache, IndexId num_index_ids);
+
+  /// Estimated query cost under `config`; bit-identical to
+  /// InumCache::Cost(config) on the cache this was sealed from.
+  double Cost(const IndexConfig& config) const;
+
+  /// Plans surviving dominance pruning.
+  size_t NumPlans() const { return plans_.size(); }
+  /// Plans the seal discarded as dominated.
+  size_t NumPlansPruned() const { return plans_pruned_; }
+  /// Distinct slot requirements shared across the surviving plans.
+  size_t NumTerms() const { return terms_.size(); }
+
+ private:
+  /// One distinct (table position, requirement kind, column) slot
+  /// requirement, priced per configuration as
+  ///   min(base, min over config ids of per_index[id]).
+  struct Term {
+    /// Cost with the empty configuration (heap for unordered slots,
+    /// infinite for ordered/probe slots).
+    double base = kInfiniteCost;
+    /// Dense per-index cost, subscripted by IndexId.
+    std::vector<double> per_index;
+  };
+
+  /// One surviving plan: internal cost plus a slice of
+  /// (plan_term_ids_, plan_multipliers_) in original slot order.
+  struct Plan {
+    double internal_cost = 0;
+    uint32_t first_slot = 0;
+    uint32_t num_slots = 0;
+  };
+
+  std::vector<Term> terms_;
+  std::vector<Plan> plans_;  // ascending internal_cost
+  std::vector<uint32_t> plan_term_ids_;
+  std::vector<double> plan_multipliers_;
+  size_t plans_pruned_ = 0;
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_INUM_SEALED_CACHE_H_

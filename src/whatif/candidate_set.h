@@ -27,6 +27,14 @@ struct CandidateSet {
 
   /// Index ids that existed in the base catalog (real indexes).
   std::vector<IndexId> base_index_ids;
+
+  /// One past the largest IndexId in the universe: the length of dense
+  /// per-index vectors (e.g. SealedCache's flat access-cost rows) that
+  /// use the universe's stable ids as direct subscripts.
+  IndexId NumIndexIds() const {
+    return universe.indexes().empty() ? 0
+                                      : universe.indexes().rbegin()->first + 1;
+  }
 };
 
 /// Builds the universe from `base` plus hypothetical `candidates`.

@@ -65,16 +65,32 @@ StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
             stats.access_calls_saved, stats.plans_cached};
     }
   });
-  result.totals.wall_ms = wall.ElapsedMillis();
 
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
   }
+
+  // One-time seal for serving: dominated-plan pruning + flat access-cost
+  // vectors over the candidate universe's stable ids. Per-query seals are
+  // independent, so they ride the same pool.
+  Stopwatch seal_timer;
+  const IndexId num_index_ids = candidates_->NumIndexIds();
+  result.sealed.resize(n);
+  pool_.ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
+    result.sealed[static_cast<size_t>(i)] = SealedCache::Seal(
+        result.caches[static_cast<size_t>(i)], num_index_ids);
+  });
+  result.totals.seal_ms = seal_timer.ElapsedMillis();
+  result.totals.wall_ms = wall.ElapsedMillis();
+
   for (const QueryBuildStats& qs : result.per_query) {
     result.totals.plan_cache_calls += qs.plan_cache_calls;
     result.totals.access_cost_calls += qs.access_cost_calls;
     result.totals.access_calls_saved += qs.access_calls_saved;
     result.totals.plans_cached += qs.plans_cached;
+  }
+  for (const SealedCache& sealed : result.sealed) {
+    result.totals.plans_pruned += sealed.NumPlansPruned();
   }
   return result;
 }

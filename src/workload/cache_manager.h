@@ -14,6 +14,7 @@
 #include "inum/access_cost_store.h"
 #include "inum/cache.h"
 #include "inum/inum_builder.h"
+#include "inum/sealed_cache.h"
 #include "pinum/pinum_builder.h"
 #include "query/query.h"
 #include "whatif/candidate_set.h"
@@ -63,12 +64,21 @@ struct WorkloadCacheStats {
   /// cache contents never are.
   int64_t access_calls_saved = 0;
   size_t plans_cached = 0;
+  /// Plans the seal step discarded as dominated (can never win under any
+  /// configuration); plans served = plans_cached - plans_pruned.
+  size_t plans_pruned = 0;
   double wall_ms = 0;
+  /// Wall time of the one-time seal pass (included in wall_ms).
+  double seal_ms = 0;
 };
 
-/// The built caches, parallel to the input query vector.
+/// The built caches, parallel to the input query vector. `caches` is the
+/// mutable build-time form (kept for inspection and incremental reuse);
+/// `sealed` is the serving form every what-if consumer should price
+/// against — sealed[i] answers bit-identically to caches[i].
 struct WorkloadCacheResult {
   std::vector<InumCache> caches;
+  std::vector<SealedCache> sealed;
   std::vector<QueryBuildStats> per_query;
   WorkloadCacheStats totals;
 };
@@ -83,9 +93,10 @@ class WorkloadCacheBuilder {
                        const StatsCatalog* stats,
                        WorkloadCacheOptions options = WorkloadCacheOptions{});
 
-  /// Builds every query's cache (concurrently when num_threads != 1).
-  /// result.caches[i] corresponds to queries[i]; the first per-query
-  /// build error aborts the batch.
+  /// Builds every query's cache (concurrently when num_threads != 1) and
+  /// seals each once for serving. result.caches[i] and result.sealed[i]
+  /// correspond to queries[i]; the first per-query build error aborts the
+  /// batch.
   StatusOr<WorkloadCacheResult> BuildAll(const std::vector<Query>& queries);
 
   /// The builder's pool — reusable for batched configuration pricing.

@@ -151,6 +151,69 @@ TEST_F(InumTest, AccessTablePricesPerIndexVariants) {
   EXPECT_EQ(table.Unordered(0, {}), 1000);   // config without the index
 }
 
+TEST_F(InumTest, AbsorbKeepsOrderedCostsPerOrderColumn) {
+  // Regression: one index absorbed through two scan options with
+  // *different* delivered orders used to keep the min ordered cost across
+  // both while remembering only the last order column — advertising the
+  // cheaper column's cost under the wrong column.
+  AccessCostTable table;
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = 0;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 1000};
+  info.options.push_back(seq);
+  ScanOption forward;  // delivers order c2, cheap
+  forward.index = 5;
+  forward.cost = {0, 100};
+  forward.order = OrderSpec::Single({0, 2});
+  info.options.push_back(forward);
+  ScanOption backward = forward;  // delivers order c3, expensive
+  backward.cost = {0, 400};
+  backward.order = OrderSpec::Single({0, 3});
+  info.options.push_back(backward);
+  table.Absorb(info);
+
+  EXPECT_EQ(table.Ordered(0, {0, 2}, {5}), 100);
+  EXPECT_EQ(table.Ordered(0, {0, 3}, {5}), 400);  // not 100
+  EXPECT_EQ(table.Ordered(0, {0, 4}, {5}), kInfiniteCost);
+  EXPECT_EQ(table.Unordered(0, {5}), 100);
+}
+
+TEST_F(InumTest, UniqueSignatureCountTracksReplacements) {
+  // NumUniqueSignatures is memoized in AddPlan; replacement through a
+  // requirement-key collision must keep the distinct count exact even
+  // when the replacing plan has a different structure signature.
+  const Query q = mini_.JoinQuery();
+  InumCache cache = BuildClassic(q);
+  std::set<std::string> expected;
+  for (const auto& plan : cache.plans()) expected.insert(plan.signature);
+  EXPECT_EQ(cache.NumUniqueSignatures(), expected.size());
+
+  InumCache small;
+  Path seq_plan;
+  seq_plan.kind = PathKind::kSeqScan;
+  seq_plan.table_pos = 0;
+  seq_plan.cost = {0, 100};
+  LeafSlot slot;
+  slot.table_pos = 0;
+  slot.req = LeafReqKind::kUnordered;
+  slot.unit_cost = 40;
+  seq_plan.leaves = {slot};
+  small.AddPlan(seq_plan, mini_.db.catalog());
+  EXPECT_EQ(small.NumUniqueSignatures(), 1u);
+  // Same requirement key, cheaper internal cost, different signature:
+  // replaces the plan and the old signature leaves the count.
+  Path sorted_plan = seq_plan;
+  sorted_plan.kind = PathKind::kSort;
+  sorted_plan.outer = std::make_shared<Path>(seq_plan);
+  sorted_plan.cost = {0, 80};
+  small.AddPlan(sorted_plan, mini_.db.catalog());
+  ASSERT_EQ(small.NumPlans(), 1u);
+  EXPECT_EQ(small.NumUniqueSignatures(), 1u);
+}
+
 TEST_F(InumTest, CacheDedupKeepsCheaperInternalCost) {
   InumCache cache;
   Path plan;

@@ -1,0 +1,302 @@
+// SealedCache: the serve-time form must price every configuration
+// bit-identically to the build-time InumCache it was sealed from —
+// including empty configurations, duplicate ids, ids outside the
+// universe, and ids the access-cost table never saw — while pruning
+// dominated plans and early-exiting on the internal-cost lower bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "advisor/candidate_generator.h"
+#include "common/rng.h"
+#include "inum/sealed_cache.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
+#include "workload/star_schema.h"
+
+namespace pinum {
+namespace {
+
+/// The paper's star-schema workload (statistics only, no data) with its
+/// full candidate universe, PINUM and classic caches — shared across the
+/// suite because cache construction is the expensive part.
+class SealedCacheTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    StarSchemaWorkload workload;
+    CandidateSet set;
+    WorkloadCacheResult pinum;
+    WorkloadCacheResult classic;
+  };
+  static Fixture* fix_;
+
+  static void SetUpTestSuite() {
+    StarSchemaSpec spec;
+    // Paper schema and query generator, capped at 5-way joins: the
+    // classic fixture build is one optimizer call per IOC and the 6/7-way
+    // queries alone have 384 + 960 IOCs — minutes under sanitizers for no
+    // added coverage (slot shapes repeat from 4 tables up).
+    spec.query_sizes = {2, 3, 3, 4, 4, 5};
+    auto w = StarSchemaWorkload::Create(spec);
+    ASSERT_TRUE(w.ok());
+    CandidateOptions copt;
+    auto cands = GenerateCandidates(w->queries(), w->db().catalog(),
+                                    w->db().stats(), copt);
+    auto set = MakeCandidateSet(w->db().catalog(), cands);
+    ASSERT_TRUE(set.ok());
+    fix_ = new Fixture{std::move(*w), std::move(*set), {}, {}};
+
+    WorkloadCacheOptions popts;
+    auto pinum = WorkloadCacheBuilder(&fix_->workload.db().catalog(),
+                                      &fix_->set,
+                                      &fix_->workload.db().stats(), popts)
+                     .BuildAll(fix_->workload.queries());
+    ASSERT_TRUE(pinum.ok()) << pinum.status().ToString();
+    fix_->pinum = std::move(*pinum);
+
+    WorkloadCacheOptions copts;
+    copts.mode = CacheBuildMode::kClassic;
+    auto classic = WorkloadCacheBuilder(&fix_->workload.db().catalog(),
+                                        &fix_->set,
+                                        &fix_->workload.db().stats(), copts)
+                       .BuildAll(fix_->workload.queries());
+    ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+    fix_->classic = std::move(*classic);
+  }
+  static void TearDownTestSuite() {
+    delete fix_;
+    fix_ = nullptr;
+  }
+
+  /// Uniformly random subset of the candidate universe (not atomic: any
+  /// number of indexes per table) with probability `p` per candidate.
+  static IndexConfig RandomSubset(Rng* rng, double p) {
+    IndexConfig config;
+    for (IndexId id : fix_->set.candidate_ids) {
+      if (rng->Chance(p)) config.push_back(id);
+    }
+    return config;
+  }
+
+  static void ExpectIdentical(const WorkloadCacheResult& built,
+                              uint64_t seed) {
+    const std::vector<Query>& queries = fix_->workload.queries();
+    Rng rng(seed);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const InumCache& cache = built.caches[qi];
+      const SealedCache& sealed = built.sealed[qi];
+      // Empty configuration.
+      EXPECT_EQ(sealed.Cost({}), cache.Cost({})) << "query " << qi;
+      for (int trial = 0; trial < 30; ++trial) {
+        IndexConfig config =
+            trial % 2 == 0
+                ? RandomAtomicConfig(queries[qi], fix_->set, &rng)
+                : RandomSubset(&rng, rng.NextDouble() * 0.2);
+        // Duplicate an id.
+        if (!config.empty() && rng.Chance(0.5)) {
+          config.push_back(config[rng.Index(config.size())]);
+        }
+        // Name ids the per-query access-cost table has no entry for:
+        // valid universe ids on unrelated tables (atomic sampling already
+        // restricts to the query's tables only on even trials), ids past
+        // the universe, and the invalid sentinel.
+        if (rng.Chance(0.5)) {
+          config.push_back(fix_->set.NumIndexIds() + 100);
+        }
+        if (rng.Chance(0.5)) config.push_back(kInvalidIndexId);
+        EXPECT_EQ(sealed.Cost(config), cache.Cost(config))
+            << "query " << qi << " trial " << trial << " config size "
+            << config.size();
+      }
+    }
+  }
+};
+
+SealedCacheTest::Fixture* SealedCacheTest::fix_ = nullptr;
+
+TEST_F(SealedCacheTest, PinumSealedCostBitIdentical) {
+  ExpectIdentical(fix_->pinum, 101);
+}
+
+TEST_F(SealedCacheTest, ClassicSealedCostBitIdentical) {
+  ExpectIdentical(fix_->classic, 103);
+}
+
+TEST_F(SealedCacheTest, SealNeverGrowsThePlanSet) {
+  for (const WorkloadCacheResult* built : {&fix_->pinum, &fix_->classic}) {
+    for (size_t qi = 0; qi < built->caches.size(); ++qi) {
+      EXPECT_EQ(built->sealed[qi].NumPlans() +
+                    built->sealed[qi].NumPlansPruned(),
+                built->caches[qi].NumPlans());
+      EXPECT_GT(built->sealed[qi].NumPlans(), 0u);
+      EXPECT_GT(built->sealed[qi].NumTerms(), 0u);
+    }
+  }
+}
+
+TEST_F(SealedCacheTest, BuilderCachesAreAlreadyIrredundant) {
+  // Both builders eliminate the paper's Section IV redundancy at build
+  // time (export-call dominance pruning, requirement relaxation, key
+  // dedup), so the seal's exact pruning — which fires on hand-built
+  // caches, see the unit tests — must find nothing left here. If this
+  // ever starts failing, a builder has begun exporting removable plans.
+  for (const WorkloadCacheResult* built : {&fix_->pinum, &fix_->classic}) {
+    for (const SealedCache& sealed : built->sealed) {
+      EXPECT_EQ(sealed.NumPlansPruned(), 0u);
+    }
+  }
+}
+
+TEST(SealedCacheUnitTest, PrunesHandCraftedDominatedPlan) {
+  // Two plans, identical single unordered slot, the second with a larger
+  // internal cost: the second can never win and must be pruned, without
+  // changing any priced cost.
+  MiniStar mini;
+  InumCache cache;
+  Path plan;
+  plan.kind = PathKind::kSeqScan;
+  plan.table_pos = 0;
+  plan.cost = {0, 100};
+  LeafSlot slot;
+  slot.table_pos = 0;
+  slot.req = LeafReqKind::kUnordered;
+  slot.unit_cost = 40;
+  plan.leaves = {slot};
+  cache.AddPlan(plan, mini.db.catalog());  // internal 60, unordered
+
+  // Ordered requirement on c1 with a higher internal cost: the unordered
+  // plan dominates it (unordered <= ordered pointwise). kIndexScan with a
+  // delivered order keeps the requirement load-bearing under a top-level
+  // ORDER BY, so AddPlan does not relax it away.
+  Path ordered = plan;
+  ordered.kind = PathKind::kIndexScan;
+  ordered.cost = {0, 140};
+  ordered.leaves[0].req = LeafReqKind::kOrdered;
+  ordered.leaves[0].column = {mini.fact, 3};
+  ordered.order = OrderSpec::Single({mini.fact, 3});
+  cache.AddPlan(ordered, mini.db.catalog(), /*top_order_matters=*/true);
+  ASSERT_EQ(cache.NumPlans(), 2u);
+
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = mini.fact;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 50};
+  info.options.push_back(seq);
+  ScanOption idx;
+  idx.index = 3;
+  idx.cost = {0, 20};
+  idx.order = OrderSpec::Single({mini.fact, 3});
+  info.options.push_back(idx);
+  cache.mutable_access()->Absorb(info);
+
+  const SealedCache sealed = SealedCache::Seal(cache, 8);
+  EXPECT_EQ(sealed.NumPlans(), 1u);
+  EXPECT_EQ(sealed.NumPlansPruned(), 1u);
+  for (const IndexConfig& config :
+       {IndexConfig{}, IndexConfig{3}, IndexConfig{3, 3}, IndexConfig{5}}) {
+    EXPECT_EQ(sealed.Cost(config), cache.Cost(config));
+  }
+}
+
+TEST(SealedCacheUnitTest, PrunesNeverFeasiblePlan) {
+  // A plan requiring an order no index in the sealed universe delivers
+  // prices infinite under every configuration: pruned at seal time.
+  MiniStar mini;
+  InumCache cache;
+  Path plan;
+  plan.kind = PathKind::kSeqScan;
+  plan.table_pos = 0;
+  plan.cost = {0, 100};
+  LeafSlot slot;
+  slot.table_pos = 0;
+  slot.req = LeafReqKind::kUnordered;
+  slot.unit_cost = 40;
+  plan.leaves = {slot};
+  cache.AddPlan(plan, mini.db.catalog());
+
+  Path dead = plan;
+  dead.kind = PathKind::kIndexScan;
+  dead.cost = {0, 10};  // cheapest internal cost, but unservable
+  dead.leaves[0].req = LeafReqKind::kOrdered;
+  dead.leaves[0].column = {mini.fact, 4};
+  dead.order = OrderSpec::Single({mini.fact, 4});
+  cache.AddPlan(dead, mini.db.catalog(), true);
+  ASSERT_EQ(cache.NumPlans(), 2u);
+
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = mini.fact;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 50};
+  info.options.push_back(seq);
+  ScanOption idx;  // index 3 orders c3, nothing orders c4
+  idx.index = 3;
+  idx.cost = {0, 20};
+  idx.order = OrderSpec::Single({mini.fact, 3});
+  info.options.push_back(idx);
+  cache.mutable_access()->Absorb(info);
+
+  const SealedCache sealed = SealedCache::Seal(cache, 8);
+  EXPECT_EQ(sealed.NumPlans(), 1u);
+  EXPECT_EQ(sealed.NumPlansPruned(), 1u);
+  for (const IndexConfig& config : {IndexConfig{}, IndexConfig{3}}) {
+    EXPECT_EQ(sealed.Cost(config), cache.Cost(config));
+  }
+}
+
+TEST(SealedCacheUnitTest, KeepsIncomparablePlans) {
+  // An ordered plan with *smaller* internal cost is not dominated by the
+  // unordered one (and cannot dominate it either): both must survive.
+  MiniStar mini;
+  InumCache cache;
+  Path plan;
+  plan.kind = PathKind::kSeqScan;
+  plan.table_pos = 0;
+  plan.cost = {0, 100};
+  LeafSlot slot;
+  slot.table_pos = 0;
+  slot.req = LeafReqKind::kUnordered;
+  slot.unit_cost = 40;
+  plan.leaves = {slot};
+  cache.AddPlan(plan, mini.db.catalog());  // internal 60, unordered
+
+  Path ordered = plan;
+  ordered.kind = PathKind::kIndexScan;
+  ordered.cost = {0, 70};  // internal 30: cheaper when an index orders
+  ordered.leaves[0].req = LeafReqKind::kOrdered;
+  ordered.leaves[0].column = {mini.fact, 3};
+  ordered.order = OrderSpec::Single({mini.fact, 3});
+  cache.AddPlan(ordered, mini.db.catalog(), true);
+  ASSERT_EQ(cache.NumPlans(), 2u);
+
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = mini.fact;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 50};
+  info.options.push_back(seq);
+  ScanOption idx;
+  idx.index = 3;
+  idx.cost = {0, 45};
+  idx.order = OrderSpec::Single({mini.fact, 3});
+  info.options.push_back(idx);
+  cache.mutable_access()->Absorb(info);
+
+  const SealedCache sealed = SealedCache::Seal(cache, 8);
+  EXPECT_EQ(sealed.NumPlans(), 2u);
+  EXPECT_EQ(sealed.NumPlansPruned(), 0u);
+  // Without the index the unordered plan wins (60 + 50 vs infeasible);
+  // with it the ordered plan wins (30 + 45 < 60 + 45).
+  EXPECT_EQ(sealed.Cost({}), cache.Cost({}));
+  EXPECT_EQ(sealed.Cost({}), 110);
+  EXPECT_EQ(sealed.Cost({3}), cache.Cost({3}));
+  EXPECT_EQ(sealed.Cost({3}), 75);
+}
+
+}  // namespace
+}  // namespace pinum

@@ -285,10 +285,12 @@ TEST_F(WorkloadCacheTest, BatchedAdvisorMatchesSerialAdvisor) {
 
   AdvisorOptions aopts;
   aopts.budget_bytes = 512LL * 1024 * 1024;
+  // The InumCache overload seals internally; it must agree exactly with
+  // batched pricing over the builder's own sealed vector.
   const AdvisorResult serial = RunGreedyAdvisor(built.caches, set_, aopts);
 
   ThreadPool pool(4);
-  const WorkloadCostEvaluator evaluator(&built.caches, &pool);
+  const WorkloadCostEvaluator evaluator(&built.sealed, &pool);
   const AdvisorResult batched = RunGreedyAdvisor(evaluator, set_, aopts);
 
   EXPECT_EQ(serial.chosen, batched.chosen);
@@ -298,14 +300,87 @@ TEST_F(WorkloadCacheTest, BatchedAdvisorMatchesSerialAdvisor) {
   EXPECT_EQ(serial.total_size_bytes, batched.total_size_bytes);
 }
 
+TEST_F(WorkloadCacheTest, BuilderSealsEveryCacheIdentically) {
+  // BuildAll returns both forms; every sealed cache must price every
+  // configuration bit-identically to its build-time source.
+  WorkloadCacheOptions opts;
+  opts.num_threads = 4;
+  const WorkloadCacheResult built = Build(opts);
+  ASSERT_EQ(built.sealed.size(), built.caches.size());
+
+  Rng rng(23);
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    EXPECT_EQ(built.sealed[qi].NumPlans() + built.sealed[qi].NumPlansPruned(),
+              built.caches[qi].NumPlans());
+    for (int trial = 0; trial < 40; ++trial) {
+      const IndexConfig config = RandomAtomicConfig(queries_[qi], &rng);
+      EXPECT_EQ(built.sealed[qi].Cost(config), built.caches[qi].Cost(config))
+          << "query " << qi;
+    }
+  }
+}
+
+TEST(SharedAccessCostStoreTest, FallbackTierWriteOrdering) {
+  // Regression: every fallback write used to be a first-wins emplace, so
+  // a candidate-specific answer stored first permanently masked the
+  // base-table answer for its signature. Pinned ordering: candidate
+  // stores never touch the fallback tier, StoreFallback is first-wins
+  // among equivalent base answers, and StoreTable's universe-visible
+  // answer overwrites whatever came before.
+  SharedAccessCostStore store;
+  const std::string sig = "t1|n0,|f|j";
+
+  auto info_with_heap_cost = [](double heap_total) {
+    TableAccessInfo info;
+    info.table = 1;
+    info.pos = 0;
+    ScanOption heap;
+    heap.index = kInvalidIndexId;
+    heap.cost = {0, heap_total};
+    info.options.push_back(heap);
+    return info;
+  };
+
+  // A candidate-specific answer (heap + one candidate index).
+  TableAccessInfo cand_info = info_with_heap_cost(100);
+  ScanOption cand_scan;
+  cand_scan.index = 7;
+  cand_scan.cost = {0, 10};
+  cand_info.options.push_back(cand_scan);
+  store.StoreCandidate(7, sig, cand_info);
+
+  TableAccessInfo out;
+  EXPECT_TRUE(store.LookupCandidate(7, sig, &out));
+  EXPECT_FALSE(store.LookupFallback(sig, &out))
+      << "candidate store seeded the fallback tier";
+
+  // Base-only answers are first-wins among themselves...
+  store.StoreFallback(sig, info_with_heap_cost(100));
+  store.StoreFallback(sig, info_with_heap_cost(200));
+  ASSERT_TRUE(store.LookupFallback(sig, &out));
+  ASSERT_EQ(out.options.size(), 1u);
+  EXPECT_EQ(out.options[0].cost.total, 100);
+
+  // ...but the universe-visible StoreTable answer is authoritative.
+  TableAccessInfo universe_info = info_with_heap_cost(100);
+  ScanOption all_scan;
+  all_scan.index = 9;
+  all_scan.cost = {0, 5};
+  universe_info.options.push_back(all_scan);
+  store.StoreTable(sig, universe_info);
+  ASSERT_TRUE(store.LookupFallback(sig, &out));
+  ASSERT_EQ(out.options.size(), 2u);
+  EXPECT_EQ(out.options[1].index, 9);
+}
+
 TEST_F(WorkloadCacheTest, BatchCostMatchesSingleCost) {
   WorkloadCacheOptions opts;
   opts.num_threads = 1;
   const WorkloadCacheResult built = Build(opts);
 
   ThreadPool pool(3);
-  const WorkloadCostEvaluator parallel_eval(&built.caches, &pool);
-  const WorkloadCostEvaluator serial_eval(&built.caches);
+  const WorkloadCostEvaluator parallel_eval(&built.sealed, &pool);
+  const WorkloadCostEvaluator serial_eval(&built.sealed);
 
   Rng rng(19);
   std::vector<IndexConfig> configs;
