@@ -6,11 +6,13 @@
 // x iterations x queries) calls — so its throughput is the system's
 // serving throughput.
 //
-//   $ ./bench_serving_throughput [replicas] [--smoke]
+//   $ ./bench_serving_throughput [replicas] [--smoke] [--json out.json]
 //
 // --smoke shrinks the workload and trial counts for CI: it still
 // exercises build -> seal -> serve end to end and fails (exit 1) if the
 // sealed path disagrees with the naive path or fails to beat it.
+// --json additionally writes the machine-readable summary CI records as
+// an artifact (the BENCH_*.json perf trajectory).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +27,7 @@
 namespace pinum {
 namespace {
 
-int Run(int replicas, bool smoke) {
+int Run(int replicas, bool smoke, const std::string& json_path) {
   StarSchemaWorkload w = bench::MakePaperWorkload();
   CandidateSet set = bench::MakeCandidates(w);
   const std::vector<Query> queries =
@@ -142,6 +144,27 @@ int Run(int replicas, bool smoke) {
               batched_rate, batched_rate / naive_rate);
   std::printf("# plans pruned: %.1f%%; checksum %.3e\n", pruned_pct, sink);
 
+  if (!json_path.empty()) {
+    bench::JsonSummary summary;
+    summary.Set("bench", std::string("serving_throughput"));
+    summary.Set("replicas", static_cast<int64_t>(replicas));
+    summary.Set("queries", static_cast<int64_t>(queries.size()));
+    summary.Set("candidates",
+                static_cast<int64_t>(set.candidate_ids.size()));
+    summary.Set("configs", static_cast<int64_t>(configs.size()));
+    summary.Set("plans_cached",
+                static_cast<int64_t>(built->totals.plans_cached));
+    summary.Set("plans_pruned_pct", pruned_pct);
+    summary.Set("build_ms", built->totals.wall_ms);
+    summary.Set("seal_ms", built->totals.seal_ms);
+    summary.Set("naive_calls_per_s", naive_rate);
+    summary.Set("sealed_calls_per_s", sealed_rate);
+    summary.Set("batched_calls_per_s", batched_rate);
+    summary.Set("sealed_speedup", sealed_rate / naive_rate);
+    summary.Set("batched_speedup", batched_rate / naive_rate);
+    if (!summary.WriteTo(json_path)) return 1;
+  }
+
   if (sealed_rate <= naive_rate) {
     std::fprintf(stderr,
                  "FAIL: sealed serving is not faster than the naive scan\n");
@@ -156,14 +179,17 @@ int Run(int replicas, bool smoke) {
 int main(int argc, char** argv) {
   int replicas = -1;  // unspecified: 3x, or 1x under --smoke
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       replicas = std::atoi(argv[i]);
       if (replicas < 1) replicas = 1;
     }
   }
   if (replicas < 0) replicas = smoke ? 1 : 3;
-  return pinum::Run(replicas, smoke);
+  return pinum::Run(replicas, smoke, json_path);
 }

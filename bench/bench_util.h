@@ -1,10 +1,17 @@
 // Shared setup for the experiment harnesses: the paper-scale workload,
-// candidate sets, and random atomic configurations.
+// candidate sets, random atomic configurations, and the machine-readable
+// summary every bench can emit (--json out.json) so perf trajectories
+// can be recorded per commit instead of scraped from stdout.
 #ifndef PINUM_BENCH_BENCH_UTIL_H_
 #define PINUM_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "advisor/candidate_generator.h"
@@ -15,6 +22,65 @@
 
 namespace pinum {
 namespace bench {
+
+/// A flat JSON object of bench results, written in insertion order.
+/// Numbers render with full round-trip precision ("%.17g"); non-finite
+/// doubles render as strings ("inf"/"-inf"/"nan") since JSON has no
+/// literal for them. Keys are emitted as-is (the benches use plain
+/// identifiers); string values get minimal escaping.
+class JsonSummary {
+ public:
+  void Set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      entries_.emplace_back(
+          key, std::string("\"") +
+                   (std::isnan(value) ? "nan" : value > 0 ? "inf" : "-inf") +
+                   "\"");
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    entries_.emplace_back(key, buf);
+  }
+
+  void Set(const std::string& key, int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    entries_.emplace_back(key, buf);
+  }
+
+  void Set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    entries_.emplace_back(key, std::move(quoted));
+  }
+
+  /// Writes the object to `path`; returns false (with a message on
+  /// stderr) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON summary to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Paper-scale workload (10 GB-equivalent statistics, no data).
 inline StarSchemaWorkload MakePaperWorkload() {

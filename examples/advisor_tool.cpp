@@ -57,18 +57,20 @@ int main(int argc, char** argv) {
                                      built->totals.access_cost_calls),
               static_cast<long long>(built->totals.access_calls_saved),
               built->totals.wall_ms);
-  std::printf("sealed for serving: %zu of %zu plans pruned as dominated "
-              "(%.1f ms)\n",
+  std::printf("sealed for serving: %zu of %zu plans pruned as dominated, "
+              "%zu shared terms, %zu postings (%.1f ms)\n",
               built->totals.plans_pruned, built->totals.plans_cached,
+              built->totals.terms, built->totals.postings,
               built->totals.seal_ms);
 
   AdvisorOptions aopts;
   if (argc > 1) {
     aopts.budget_bytes = std::atoll(argv[1]) * 1024 * 1024;
   }
-  // Batched pricing from the sealed serving form: every greedy iteration
-  // evaluates all surviving candidates as one parallel batch on the
-  // builder's pool.
+  // Delta pricing from the sealed serving form: every greedy iteration
+  // pins chosen-so-far into per-query contexts (sharded over the
+  // builder's pool) and sweeps all surviving candidates through their
+  // posting overlays.
   const WorkloadCostEvaluator evaluator(&built->sealed, builder.pool());
   const AdvisorResult result = RunGreedyAdvisor(evaluator, *set, aopts);
 

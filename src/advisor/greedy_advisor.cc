@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
 #include "whatif/whatif_index.h"
 
 namespace pinum {
@@ -25,6 +26,90 @@ std::vector<double> WorkloadCostEvaluator::BatchCost(
   return costs;
 }
 
+const std::vector<double>& WorkloadCostEvaluator::BatchCostWithExtras(
+    const IndexConfig& base, const std::vector<IndexId>& extras,
+    EvalScratch* scratch) const {
+  const size_t num_queries = caches_->size();
+  const size_t num_extras = extras.size();
+  if (scratch->per_query.size() != num_queries) {
+    scratch->per_query.assign(num_queries, {});
+    scratch->pinned_valid = false;
+  }
+  scratch->per_query_costs.resize(num_queries * num_extras);
+
+  // Context reuse across calls: the greedy advisor's bases grow one
+  // winner at a time, so the common case extends the pinned contexts by
+  // one id's postings instead of re-resolving every term against the
+  // whole base.
+  const bool reuse = scratch->pinned_valid && base == scratch->pinned_base;
+  const bool extend =
+      !reuse && scratch->pinned_valid &&
+      base.size() == scratch->pinned_base.size() + 1 &&
+      std::equal(scratch->pinned_base.begin(), scratch->pinned_base.end(),
+                 base.begin());
+  const IndexId appended = extend ? base.back() : kInvalidIndexId;
+
+  // One id -> sweep-slot map, built once and shared by every query's
+  // inverted sweep (walk the cache's posting-bearing ids, not all
+  // extras). A duplicated swept id cannot be mapped to two slots, so
+  // that (advisor-impossible) shape falls back to the per-extra sweep.
+  IndexId max_id = -1;
+  for (const IndexId id : extras) max_id = std::max(max_id, id);
+  const size_t map_size = static_cast<size_t>(max_id + 1);
+  scratch->position_of_id.assign(map_size, SealedCache::kNotSwept);
+  bool duplicate_ids = false;
+  for (size_t e = 0; e < num_extras; ++e) {
+    const IndexId id = extras[e];
+    if (id < 0) continue;
+    uint32_t& slot = scratch->position_of_id[static_cast<size_t>(id)];
+    duplicate_ids = duplicate_ids || slot != SealedCache::kNotSwept;
+    slot = static_cast<uint32_t>(e);
+  }
+  const uint32_t* position_of_id = scratch->position_of_id.data();
+
+  // Shard by query: each query pins the base once, then sweeps every
+  // extra through its posting overlay. Slots are disjoint, so the matrix
+  // contents are deterministic regardless of scheduling.
+  auto price_query = [&](int64_t q) {
+    const SealedCache& cache = (*caches_)[static_cast<size_t>(q)];
+    SealedCache::CostContext& ctx =
+        scratch->per_query[static_cast<size_t>(q)];
+    if (extend) {
+      cache.ExtendContext(&ctx, appended);
+    } else if (!reuse) {
+      cache.PrepareContext(base, &ctx);
+    }
+    double* row = scratch->per_query_costs.data() +
+                  static_cast<size_t>(q) * num_extras;
+    if (duplicate_ids) {
+      cache.CostExtrasInto(&ctx, extras.data(), num_extras, row);
+    } else {
+      simd::Fill(row, ctx.base_cost(), num_extras);
+      cache.CostActiveExtrasInto(&ctx, position_of_id, map_size, row);
+    }
+  };
+  if (pool_ == nullptr || num_queries <= 1) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      price_query(static_cast<int64_t>(q));
+    }
+  } else {
+    pool_->ParallelFor(static_cast<int64_t>(num_queries), price_query);
+  }
+
+  scratch->pinned_base = base;
+  scratch->pinned_valid = true;
+
+  // Reduce the per-query partial results in query order — floating-point
+  // addition is not associative, and this is the order Cost() sums in,
+  // which makes the delta and batched paths bit-identical.
+  scratch->totals.assign(num_extras, 0.0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const double* row = scratch->per_query_costs.data() + q * num_extras;
+    for (size_t e = 0; e < num_extras; ++e) scratch->totals[e] += row[e];
+  }
+  return scratch->totals;
+}
+
 AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options) {
@@ -35,56 +120,101 @@ AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
   double current_cost = result.workload_cost_before;
   int64_t used_bytes = 0;
 
-  std::vector<IndexId> remaining = candidates.candidate_ids;
+  // The working set: ids resolvable in the universe, with their sizes
+  // computed once and their original candidate order remembered. Ids the
+  // universe cannot resolve are dropped here instead of being re-probed
+  // (and re-skipped) every iteration.
+  struct Cand {
+    IndexId id;
+    int64_t size_bytes;
+    uint32_t order;  // position in candidates.candidate_ids
+  };
+  std::vector<Cand> remaining;
+  remaining.reserve(candidates.candidate_ids.size());
+  for (size_t i = 0; i < candidates.candidate_ids.size(); ++i) {
+    const IndexId cand = candidates.candidate_ids[i];
+    const IndexDef* def = candidates.universe.FindIndex(cand);
+    if (def == nullptr) continue;
+    remaining.push_back({cand, IndexSizeBytes(*def), static_cast<uint32_t>(i)});
+  }
+
+  WorkloadCostEvaluator::EvalScratch scratch;  // pinned across iterations
+  std::vector<IndexId> sweep_ids;
+  std::vector<IndexConfig> batch;
+  const size_t npos = static_cast<size_t>(-1);
+
   while (true) {
     if (options.max_indexes > 0 &&
         static_cast<int>(chosen.size()) >= options.max_indexes) {
       break;
     }
-    // One batch per iteration: every surviving candidate appended to the
-    // current configuration, priced together.
-    std::vector<IndexId> batch_ids;
-    std::vector<int64_t> batch_sizes;
-    std::vector<IndexConfig> batch;
-    for (IndexId cand : remaining) {
-      const IndexDef* def = candidates.universe.FindIndex(cand);
-      if (def == nullptr) continue;
-      const int64_t size = IndexSizeBytes(*def);
-      if (used_bytes + size > options.budget_bytes) continue;
-      IndexConfig config = chosen;
-      config.push_back(cand);
-      batch_ids.push_back(cand);
-      batch_sizes.push_back(size);
-      batch.push_back(std::move(config));
-    }
-    if (batch.empty()) break;
-    const std::vector<double> costs = evaluator.BatchCost(batch);
-    result.evaluations += static_cast<int64_t>(batch.size());
-
-    // Strictly-better-in-candidate-order selection: identical to pricing
-    // the candidates one at a time.
-    IndexId best = kInvalidIndexId;
-    double best_cost = current_cost;
-    int64_t best_size = 0;
-    for (size_t i = 0; i < batch_ids.size(); ++i) {
-      if (costs[i] < best_cost) {
-        best_cost = costs[i];
-        best = batch_ids[i];
-        best_size = batch_sizes[i];
+    // Permanent budget pruning: used_bytes only grows, so a candidate
+    // that no longer fits never fits again — swap-and-pop it instead of
+    // re-filtering the whole set every iteration.
+    for (size_t i = 0; i < remaining.size();) {
+      if (used_bytes + remaining[i].size_bytes > options.budget_bytes) {
+        remaining[i] = remaining.back();
+        remaining.pop_back();
+      } else {
+        ++i;
       }
     }
-    if (best == kInvalidIndexId) break;
+    if (remaining.empty()) break;
+
+    // One sweep per iteration: every surviving candidate appended to the
+    // current configuration, priced together.
+    sweep_ids.clear();
+    for (const Cand& cand : remaining) sweep_ids.push_back(cand.id);
+    const std::vector<double>* costs;
+    std::vector<double> batched_costs;
+    if (options.cost_path == AdvisorCostPath::kDelta) {
+      costs = &evaluator.BatchCostWithExtras(chosen, sweep_ids, &scratch);
+    } else {
+      batch.clear();
+      batch.reserve(sweep_ids.size());
+      for (IndexId id : sweep_ids) {
+        IndexConfig config = chosen;
+        config.push_back(id);
+        batch.push_back(std::move(config));
+      }
+      batched_costs = evaluator.BatchCost(batch);
+      costs = &batched_costs;
+    }
+    result.evaluations += static_cast<int64_t>(sweep_ids.size());
+
+    // Strictly-better argmin with ties broken by original candidate
+    // order: identical to pricing the candidates one at a time in
+    // candidate order, but independent of the working set's layout, so
+    // swap-and-pop removals cannot change which index is selected.
+    size_t best_i = npos;
+    double best_cost = current_cost;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const double cost = (*costs)[i];
+      const bool wins =
+          best_i == npos
+              ? cost < best_cost
+              : cost < best_cost ||
+                    (cost == best_cost &&
+                     remaining[i].order < remaining[best_i].order);
+      if (wins) {
+        best_i = i;
+        best_cost = cost;
+      }
+    }
+    if (best_i == npos) break;
     const double benefit = current_cost - best_cost;
     if (benefit < options.min_relative_benefit *
                       std::max(1.0, result.workload_cost_before)) {
       break;
     }
-    chosen.push_back(best);
-    used_bytes += best_size;
+    const Cand winner = remaining[best_i];
+    chosen.push_back(winner.id);
+    used_bytes += winner.size_bytes;
     current_cost = best_cost;
-    remaining.erase(std::remove(remaining.begin(), remaining.end(), best),
-                    remaining.end());
-    result.steps.push_back({best, benefit, best_size, current_cost});
+    remaining[best_i] = remaining.back();
+    remaining.pop_back();
+    result.steps.push_back({winner.id, benefit, winner.size_bytes,
+                            current_cost});
   }
 
   result.chosen = chosen;

@@ -20,11 +20,44 @@ namespace pinum {
 /// every call site. Results are written into per-configuration slots, so
 /// batched and serial pricing return bit-identical costs.
 ///
+/// Two batch shapes are offered. BatchCost prices arbitrary
+/// configurations from scratch. BatchCostWithExtras prices one base
+/// configuration plus each of many single-index extensions — the greedy
+/// advisor's iteration shape — through the delta path: each query's
+/// sealed cache pins the base into a CostContext once, then every extra
+/// is a sparse posting-list overlay (O(postings) instead of
+/// O(|base| x terms) per extra). Work shards across queries on the pool,
+/// per-query costs land in per-(query, extra) slots, and the final
+/// per-extra sums reduce in query order — the exact addition order the
+/// serial Cost() path uses — so the delta and batched paths return
+/// bit-identical workload costs.
+///
 /// The evaluator consumes the serve-time SealedCache form only; seal the
 /// build-time InumCaches once (WorkloadCacheBuilder does this) and keep
 /// serving from the sealed vector.
 class WorkloadCostEvaluator {
  public:
+  /// Reusable scratch for BatchCostWithExtras: per-query pinned contexts
+  /// and the per-(query, extra) cost matrix. Keep one instance alive
+  /// across advisor iterations so contexts stay pinned: when a call's
+  /// base equals the previous call's base plus one appended id — the
+  /// greedy advisor's winner — the contexts are extended in place
+  /// (O(postings) per query) instead of re-resolved from scratch. A
+  /// scratch belongs to one evaluator's cache vector; do not share it
+  /// across evaluators or concurrent calls.
+  struct EvalScratch {
+    std::vector<SealedCache::CostContext> per_query;
+    /// Row-major [query][extra] per-query costs.
+    std::vector<double> per_query_costs;
+    /// Per-extra workload totals, reduced in query order.
+    std::vector<double> totals;
+    /// The base configuration the contexts currently pin.
+    IndexConfig pinned_base;
+    bool pinned_valid = false;
+    /// id -> sweep slot map shared by every query's inverted sweep.
+    std::vector<uint32_t> position_of_id;
+  };
+
   /// `caches` must outlive the evaluator. `pool` is optional (serial
   /// pricing when null) and not owned.
   explicit WorkloadCostEvaluator(const std::vector<SealedCache>* caches,
@@ -37,11 +70,31 @@ class WorkloadCostEvaluator {
   /// Workload cost of every configuration; result[i] prices configs[i].
   std::vector<double> BatchCost(const std::vector<IndexConfig>& configs) const;
 
+  /// Workload cost of base + {extras[i]} for every i, through the delta
+  /// path; the returned reference (scratch->totals) is valid until the
+  /// next call with the same scratch. result[i] is bit-identical to
+  /// Cost(base + {extras[i]}).
+  const std::vector<double>& BatchCostWithExtras(
+      const IndexConfig& base, const std::vector<IndexId>& extras,
+      EvalScratch* scratch) const;
+
   size_t NumQueries() const { return caches_->size(); }
 
  private:
   const std::vector<SealedCache>* caches_;
   ThreadPool* pool_;
+};
+
+/// How the advisor prices each iteration's candidate sweep. Both paths
+/// produce bit-identical AdvisorResults (the equivalence suite pins
+/// this); the delta path is the fast default, the batched path is the
+/// PR-2 baseline kept for verification and benchmarking.
+enum class AdvisorCostPath {
+  /// Pin chosen-so-far into per-query contexts once per iteration, sweep
+  /// candidates through SealedCache::CostWithExtra posting overlays.
+  kDelta,
+  /// Re-price chosen + {cand} from scratch per candidate (PR-2 path).
+  kBatched,
 };
 
 /// Advisor configuration.
@@ -53,6 +106,8 @@ struct AdvisorOptions {
   int max_indexes = 0;
   /// Minimum relative benefit to keep iterating.
   double min_relative_benefit = 1e-6;
+  /// Candidate-sweep pricing path.
+  AdvisorCostPath cost_path = AdvisorCostPath::kDelta;
 };
 
 /// One greedy iteration's outcome.
@@ -77,9 +132,12 @@ struct AdvisorResult {
 
 /// Runs the greedy selection: repeatedly adds the candidate with the
 /// largest workload benefit until the space budget would be violated or
-/// no candidate helps. Each iteration prices all surviving candidates as
-/// one batch through the evaluator — pure arithmetic, no optimizer
-/// calls, parallel when the evaluator has a pool.
+/// no candidate helps. Each iteration sweeps all surviving candidates
+/// through the evaluator — pure arithmetic, no optimizer calls, parallel
+/// when the evaluator has a pool. Candidates are dropped from the
+/// working set permanently once they can never return: unknown ids up
+/// front, and over-budget ids as soon as they stop fitting (the used
+/// budget only grows).
 AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options);

@@ -1,0 +1,87 @@
+// Explicitly vectorized primitives for the serving layer's dense
+// double-precision scans. The backend is selected at configure time:
+// CMake probes <experimental/simd> (libstdc++'s portable SIMD types,
+// available under gcc and clang-with-libstdc++) and defines
+// PINUM_HAVE_STD_SIMD when it compiles; otherwise — or under
+// -DPINUM_SIMD=OFF — every helper falls back to the plain scalar loop.
+//
+// Both backends are bit-identical for the values the serving layer
+// feeds them: access costs are non-negative doubles (never NaN, +inf is
+// the "requirement cannot be met" sentinel), and elementwise min over
+// such values returns the same double under std::min and the vector min
+// — the two differ only on NaN and signed-zero operands. The serving
+// property suites (sealed cost == unsealed cost, bitwise) hold under
+// either backend; tests/common_test.cc pins the helpers directly.
+#ifndef PINUM_COMMON_SIMD_H_
+#define PINUM_COMMON_SIMD_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#if defined(PINUM_HAVE_STD_SIMD)
+#include <experimental/simd>
+#endif
+
+namespace pinum {
+namespace simd {
+
+#if defined(PINUM_HAVE_STD_SIMD)
+
+inline constexpr bool kVectorized = true;
+
+/// Human-readable backend tag for bench/CI logs.
+inline const char* BackendName() { return "std::experimental::simd"; }
+
+/// dst[i] = min(dst[i], src[i]) for i in [0, n). The serving layer's
+/// config-over-terms scan: folding one index's per-term column into the
+/// resolved term values.
+inline void MinFoldInto(double* dst, const double* src, std::size_t n) {
+  namespace stdx = std::experimental;
+  using V = stdx::native_simd<double>;
+  constexpr std::size_t kW = V::size();
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    V a;
+    V b;
+    a.copy_from(dst + i, stdx::element_aligned);
+    b.copy_from(src + i, stdx::element_aligned);
+    stdx::min(a, b).copy_to(dst + i, stdx::element_aligned);
+  }
+  for (; i < n; ++i) dst[i] = std::min(dst[i], src[i]);
+}
+
+/// dst[i] = value for i in [0, n): the seal-time row fill (a term's
+/// dense per-index row starts as its base cost before the table's few
+/// real index entries are patched in).
+inline void Fill(double* dst, double value, std::size_t n) {
+  namespace stdx = std::experimental;
+  using V = stdx::native_simd<double>;
+  constexpr std::size_t kW = V::size();
+  const V splat(value);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    splat.copy_to(dst + i, stdx::element_aligned);
+  }
+  for (; i < n; ++i) dst[i] = value;
+}
+
+#else  // scalar fallback
+
+inline constexpr bool kVectorized = false;
+
+inline const char* BackendName() { return "scalar"; }
+
+inline void MinFoldInto(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::min(dst[i], src[i]);
+}
+
+inline void Fill(double* dst, double value, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = value;
+}
+
+#endif
+
+}  // namespace simd
+}  // namespace pinum
+
+#endif  // PINUM_COMMON_SIMD_H_

@@ -88,6 +88,17 @@ class AccessCostTable {
   /// Sequential-scan cost of table `pos` (always available).
   double HeapCost(int pos) const;
 
+  /// The per-index costs recorded for table `pos` (nullptr when `pos` is
+  /// out of range). An id absent from this map prices exactly like the
+  /// empty configuration — Unordered falls back to the heap, Ordered and
+  /// Probe to infinite — which is what lets SealedCache fill a term's
+  /// dense per-index row with its base cost and patch only these
+  /// entries, instead of probing the map once per universe id.
+  const std::map<IndexId, IndexAccessCosts>* IndexCostsAt(int pos) const {
+    if (pos < 0 || static_cast<size_t>(pos) >= tables_.size()) return nullptr;
+    return &tables_[static_cast<size_t>(pos)].by_index;
+  }
+
   int NumTables() const { return static_cast<int>(tables_.size()); }
   size_t NumIndexCosts() const;
 

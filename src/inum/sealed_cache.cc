@@ -4,6 +4,8 @@
 #include <map>
 #include <tuple>
 
+#include "common/simd.h"
+
 namespace pinum {
 
 namespace {
@@ -45,6 +47,21 @@ bool Dominates(const CachedPlan& a, const CachedPlan& b) {
   return true;
 }
 
+/// One distinct (table position, requirement kind, column) slot
+/// requirement during the seal: base cost plus the dense per-index row
+/// the old naive fill produced one map probe at a time. The row now
+/// starts as a SIMD fill of the base — an id with no entry in the
+/// table's access map prices exactly like the empty configuration
+/// (Unordered falls back to the heap, Ordered/Probe to infinite) — and
+/// only the table's few recorded indexes are patched in with their
+/// singleton-configuration price, the same double the naive path
+/// computes for them.
+struct BuildTerm {
+  double base = kInfiniteCost;
+  std::vector<double> row;
+  bool feasible = false;
+};
+
 }  // namespace
 
 SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
@@ -54,14 +71,11 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
   const size_t n = plans.size();
   const size_t universe =
       static_cast<size_t>(std::max<IndexId>(num_index_ids, 0));
+  sealed.universe_ = universe;
 
   // ---- Terms: one per distinct (pos, req, column) slot requirement
-  // across all plans, the dense per-index row filled through the same
-  // AccessCostTable queries the naive path issues — singleton
-  // configurations, so every entry is the exact double the unsealed
-  // Cost() would fold into its min. ----
-  std::vector<Term> terms;
-  std::vector<bool> term_feasible;
+  // across all plans. ----
+  std::vector<BuildTerm> terms;
   std::map<std::tuple<int, LeafReqKind, ColumnRef>, uint32_t> term_ids;
   auto term_of = [&](const LeafSlot& slot) -> uint32_t {
     const ColumnRef column =
@@ -70,8 +84,7 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
     auto it = term_ids.find(key);
     if (it != term_ids.end()) return it->second;
 
-    Term term;
-    term.per_index.resize(universe);
+    BuildTerm term;
     IndexConfig single(1);
     auto price = [&](const IndexConfig& config) {
       switch (slot.req) {
@@ -85,15 +98,21 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
       return kInfiniteCost;
     };
     term.base = price({});
-    bool feasible = !IsInfinite(term.base);
-    for (size_t id = 0; id < universe; ++id) {
-      single[0] = static_cast<IndexId>(id);
-      term.per_index[id] = price(single);
-      feasible = feasible || !IsInfinite(term.per_index[id]);
+    term.feasible = !IsInfinite(term.base);
+    term.row.resize(universe);
+    simd::Fill(term.row.data(), term.base, universe);
+    if (const auto* by_index = access.IndexCostsAt(slot.table_pos)) {
+      for (const auto& [id, costs] : *by_index) {
+        (void)costs;
+        if (id < 0 || static_cast<size_t>(id) >= universe) continue;
+        single[0] = id;
+        const double v = price(single);
+        term.row[static_cast<size_t>(id)] = v;
+        term.feasible = term.feasible || !IsInfinite(v);
+      }
     }
     const uint32_t tid = static_cast<uint32_t>(terms.size());
     terms.push_back(std::move(term));
-    term_feasible.push_back(feasible);
     term_ids.emplace(key, tid);
     return tid;
   };
@@ -116,7 +135,7 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
   std::vector<bool> pruned(n, false);
   for (size_t i = 0; i < n; ++i) {
     for (uint32_t t : plan_terms[i]) {
-      if (!term_feasible[t]) {
+      if (!terms[t].feasible) {
         pruned[i] = true;
         break;
       }
@@ -146,6 +165,7 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
   });
 
   std::vector<uint32_t> remap(terms.size(), UINT32_MAX);
+  std::vector<uint32_t> kept;  // original term ids, in remapped order
   for (size_t idx : order) {
     const CachedPlan& plan = plans[idx];
     Plan compact;
@@ -155,39 +175,67 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
     for (size_t s = 0; s < plan.slots.size(); ++s) {
       uint32_t& target = remap[plan_terms[idx][s]];
       if (target == UINT32_MAX) {
-        target = static_cast<uint32_t>(sealed.terms_.size());
-        sealed.terms_.push_back(std::move(terms[plan_terms[idx][s]]));
+        target = static_cast<uint32_t>(kept.size());
+        kept.push_back(plan_terms[idx][s]);
       }
       sealed.plan_term_ids_.push_back(target);
       sealed.plan_multipliers_.push_back(plan.slots[s].multiplier);
     }
     sealed.plans_.push_back(compact);
   }
+
+  // ---- Serving layout: bases, the index-major matrix (row id = every
+  // surviving term's cost under {id}; the transpose of the build rows),
+  // and CSR posting lists holding the strict improvements — entries with
+  // row[id] < base, the only ones a min-fold can ever act on. ----
+  const size_t num_terms = kept.size();
+  sealed.term_bases_.resize(num_terms);
+  for (size_t k = 0; k < num_terms; ++k) {
+    sealed.term_bases_[k] = terms[kept[k]].base;
+  }
+  sealed.per_index_values_.resize(universe * num_terms);
+  for (size_t k = 0; k < num_terms; ++k) {
+    const double* row = terms[kept[k]].row.data();
+    for (size_t id = 0; id < universe; ++id) {
+      sealed.per_index_values_[id * num_terms + k] = row[id];
+    }
+  }
+
+  sealed.posting_offsets_.assign(universe + 1, 0);
+  for (size_t k = 0; k < num_terms; ++k) {
+    const BuildTerm& term = terms[kept[k]];
+    for (size_t id = 0; id < universe; ++id) {
+      if (term.row[id] < term.base) ++sealed.posting_offsets_[id + 1];
+    }
+  }
+  for (size_t id = 0; id < universe; ++id) {
+    sealed.posting_offsets_[id + 1] += sealed.posting_offsets_[id];
+  }
+  sealed.posting_terms_.resize(sealed.posting_offsets_[universe]);
+  sealed.posting_values_.resize(sealed.posting_offsets_[universe]);
+  std::vector<uint32_t> cursor(sealed.posting_offsets_.begin(),
+                               sealed.posting_offsets_.end() - 1);
+  // Term-major outer loop keeps each id's postings sorted by term.
+  for (size_t k = 0; k < num_terms; ++k) {
+    const BuildTerm& term = terms[kept[k]];
+    for (size_t id = 0; id < universe; ++id) {
+      if (term.row[id] < term.base) {
+        const uint32_t at = cursor[id]++;
+        sealed.posting_terms_[at] = static_cast<uint32_t>(k);
+        sealed.posting_values_[at] = term.row[id];
+      }
+    }
+  }
+  for (size_t id = 0; id < universe; ++id) {
+    if (sealed.posting_offsets_[id + 1] > sealed.posting_offsets_[id]) {
+      sealed.posting_ids_.push_back(static_cast<IndexId>(id));
+    }
+  }
   return sealed;
 }
 
-double SealedCache::Cost(const IndexConfig& config) const {
-  // Resolve every term once per configuration. The scratch buffer is
-  // thread-local so concurrent Cost() calls (the batched evaluator prices
-  // configurations on a pool) never share it.
-  static thread_local std::vector<double> values;
-  values.resize(terms_.size());
-  const size_t universe = terms_.empty() ? 0 : terms_[0].per_index.size();
-  for (size_t t = 0; t < terms_.size(); ++t) {
-    const Term& term = terms_[t];
-    double v = term.base;
-    const double* row = term.per_index.data();
-    for (IndexId id : config) {
-      // Ids outside the sealed universe price as absent, like ids missing
-      // from the unsealed table's per-slot maps.
-      if (id >= 0 && static_cast<size_t>(id) < universe) {
-        v = std::min(v, row[id]);
-      }
-    }
-    values[t] = v;
-  }
-
-  double best = kInfiniteCost;
+double SealedCache::ScanPlans(const double* values, double seed) const {
+  double best = seed;
   for (const Plan& plan : plans_) {
     // Plans are sorted by internal cost, a lower bound on plan cost.
     if (plan.internal_cost >= best) break;
@@ -205,6 +253,124 @@ double SealedCache::Cost(const IndexConfig& config) const {
     if (feasible && cost < best) best = cost;
   }
   return best;
+}
+
+void SealedCache::PrepareContext(const IndexConfig& base,
+                                 CostContext* ctx) const {
+  const size_t num_terms = term_bases_.size();
+  ctx->values_.resize(num_terms);
+  std::copy(term_bases_.begin(), term_bases_.end(), ctx->values_.begin());
+  for (IndexId id : base) {
+    // Ids outside the sealed universe price as absent, like ids missing
+    // from the unsealed table's per-slot maps. Per term, the fold order
+    // matches the unsealed min exactly: base first, then each
+    // configuration id in configuration order.
+    if (id >= 0 && static_cast<size_t>(id) < universe_) {
+      simd::MinFoldInto(
+          ctx->values_.data(),
+          per_index_values_.data() + static_cast<size_t>(id) * num_terms,
+          num_terms);
+    }
+  }
+  ctx->base_cost_ = ScanPlans(ctx->values_.data(), kInfiniteCost);
+  ctx->undo_.clear();
+}
+
+double SealedCache::Cost(const IndexConfig& config) const {
+  // One configuration is a context prepared and read once. The scratch
+  // context is thread-local so concurrent Cost() calls (the batched
+  // evaluator prices configurations on a pool) never share it.
+  static thread_local CostContext scratch;
+  PrepareContext(config, &scratch);
+  return scratch.base_cost_;
+}
+
+double SealedCache::CostOverlay(CostContext* ctx, uint32_t begin,
+                                uint32_t end) const {
+  // Overlay the extra index's postings onto the pinned term values. A
+  // posting with value >= the pinned min cannot change it (pinned values
+  // are pointwise <= term bases, postings are < base but not necessarily
+  // < the pinned min); terms without a posting satisfy
+  // row[extra] >= base >= pinned, so skipping them is exact.
+  ctx->undo_.clear();
+  for (uint32_t p = begin; p < end; ++p) {
+    double& value = ctx->values_[posting_terms_[p]];
+    if (posting_values_[p] < value) {
+      ctx->undo_.emplace_back(posting_terms_[p], value);
+      value = posting_values_[p];
+    }
+  }
+  if (ctx->undo_.empty()) return ctx->base_cost_;
+
+  // The base cost seeds the early exit: term values only went down, so
+  // every plan's cost is <= its base-configuration cost and the base
+  // winner still prices <= base_cost — the scan returns the exact
+  // minimum, identical (bitwise) to a from-scratch scan's.
+  const double best = ScanPlans(ctx->values_.data(), ctx->base_cost_);
+  for (const auto& [term, previous] : ctx->undo_) {
+    ctx->values_[term] = previous;
+  }
+  return best;
+}
+
+void SealedCache::ExtendContext(CostContext* ctx, IndexId extra) const {
+  if (extra < 0 || static_cast<size_t>(extra) >= universe_) return;
+  // The permanent flavor of CostOverlay: fold and keep, no undo.
+  bool changed = false;
+  const uint32_t begin = posting_offsets_[static_cast<size_t>(extra)];
+  const uint32_t end = posting_offsets_[static_cast<size_t>(extra) + 1];
+  for (uint32_t p = begin; p < end; ++p) {
+    double& value = ctx->values_[posting_terms_[p]];
+    if (posting_values_[p] < value) {
+      value = posting_values_[p];
+      changed = true;
+    }
+  }
+  if (changed) {
+    ctx->base_cost_ = ScanPlans(ctx->values_.data(), ctx->base_cost_);
+  }
+}
+
+double SealedCache::CostWithExtra(CostContext* ctx, IndexId extra) const {
+  if (extra < 0 || static_cast<size_t>(extra) >= universe_) {
+    return ctx->base_cost_;
+  }
+  return CostOverlay(ctx, posting_offsets_[static_cast<size_t>(extra)],
+                     posting_offsets_[static_cast<size_t>(extra) + 1]);
+}
+
+void SealedCache::CostExtrasInto(CostContext* ctx, const IndexId* extras,
+                                 size_t n, double* out) const {
+  // Most extras cannot lower any of this query's terms (their posting
+  // lists are empty — candidate indexes on other tables, or indexes the
+  // heap already beats), so the whole row starts as the base cost and
+  // only posting-bearing extras are priced individually.
+  simd::Fill(out, ctx->base_cost_, n);
+  const uint32_t* offsets = posting_offsets_.data();
+  for (size_t i = 0; i < n; ++i) {
+    const IndexId extra = extras[i];
+    if (extra < 0 || static_cast<size_t>(extra) >= universe_) continue;
+    const uint32_t begin = offsets[static_cast<size_t>(extra)];
+    const uint32_t end = offsets[static_cast<size_t>(extra) + 1];
+    if (begin == end) continue;
+    out[i] = CostOverlay(ctx, begin, end);
+  }
+}
+
+void SealedCache::CostActiveExtrasInto(CostContext* ctx,
+                                       const uint32_t* position_of_id,
+                                       size_t map_size, double* out) const {
+  // Inverted loop: instead of asking "does this swept id have postings
+  // here" per extra, walk the (usually much shorter) posting-bearing id
+  // list and ask "is this id being swept".
+  const uint32_t* offsets = posting_offsets_.data();
+  for (const IndexId id : posting_ids_) {
+    if (static_cast<size_t>(id) >= map_size) continue;
+    const uint32_t slot = position_of_id[static_cast<size_t>(id)];
+    if (slot == kNotSwept) continue;
+    out[slot] = CostOverlay(ctx, offsets[static_cast<size_t>(id)],
+                            offsets[static_cast<size_t>(id) + 1]);
+  }
 }
 
 }  // namespace pinum

@@ -14,20 +14,34 @@
 //    suite pins this), so sealing re-establishes irredundancy as an
 //    invariant of the serve-time type no matter where the cache came
 //    from (merged, persisted, or hand-built caches included);
-//  - per-slot std::map probes are replaced by dense access-cost vectors
-//    indexed by the candidate universe's stable ids (CandidateSet
-//    guarantees id stability), so pricing a configuration is a
-//    branch-light array min-scan;
-//  - distinct slot requirements are deduplicated into shared "terms"
-//    resolved once per configuration instead of once per plan;
+//  - per-slot std::map probes are replaced by a dense index-major term
+//    matrix over the candidate universe's stable ids (CandidateSet
+//    guarantees id stability): distinct slot requirements are
+//    deduplicated into shared "terms", and pricing a configuration is a
+//    base-row copy plus one contiguous SIMD min-fold per configuration
+//    index (src/common/simd.h; scalar fallback selected at configure
+//    time);
+//  - per-index posting lists record, for every universe index, the few
+//    terms that index can actually lower below their base cost. They
+//    drive the delta-costing path: with a CostContext pinning a base
+//    configuration's resolved term values, CostWithExtra prices
+//    base + {id} by folding only postings[id] — O(postings), not
+//    O(|base| x terms) — which turns the greedy advisor's inner loop
+//    from re-resolving every term per candidate into a sparse overlay;
 //  - surviving plans are sorted by ascending internal cost, so the scan
 //    early-exits as soon as internal_cost >= best_so_far (access costs
-//    are non-negative, making internal cost a lower bound).
+//    are non-negative, making internal cost a lower bound). A context
+//    additionally pins the base configuration's plan-scan result, which
+//    seeds the delta scan's early exit: term values under base + {id}
+//    are pointwise <= the base values, so the base cost is a valid
+//    initial upper bound.
 //
 // Cost() is bit-identical to InumCache::Cost() on every configuration —
 // pruning removes only plans that are pointwise >= a survivor in exact
 // floating-point arithmetic, and the surviving plans' costs are computed
-// from the same doubles in the same per-slot order.
+// from the same doubles in the same per-slot order. CostWithExtra(ctx,
+// id) is bit-identical to Cost(base + {id}) — skipped terms are exactly
+// those whose min the extra index cannot change.
 //
 // The API is seal-only by design: InumCache stays the mutable build-time
 // type, SealedCache the immutable serve-time type; there is no Unseal.
@@ -35,6 +49,7 @@
 #define PINUM_INUM_SEALED_CACHE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "inum/cache.h"
@@ -44,6 +59,29 @@ namespace pinum {
 class SealedCache {
  public:
   SealedCache() = default;
+
+  /// A pinned evaluation context: one base configuration's resolved
+  /// per-term values plus its plan-scan result. Prepared once per
+  /// (cache, base) and swept across many extras by CostWithExtra; reuse
+  /// the same object across advisor iterations to keep its buffers warm.
+  /// A context belongs to the cache that prepared it and to one thread
+  /// at a time.
+  class CostContext {
+   public:
+    CostContext() = default;
+
+    /// Cost of the pinned base configuration (== Cost(base)).
+    double base_cost() const { return base_cost_; }
+
+   private:
+    friend class SealedCache;
+    std::vector<double> values_;
+    /// (term, previous value) overlay log so CostWithExtra can restore
+    /// the pinned values after each extra; capacity persists across
+    /// calls.
+    std::vector<std::pair<uint32_t, double>> undo_;
+    double base_cost_ = kInfiniteCost;
+  };
 
   /// Seals `cache` for serving. `num_index_ids` bounds the dense vectors:
   /// one past the largest IndexId the cache can be asked about (use
@@ -56,25 +94,66 @@ class SealedCache {
   /// InumCache::Cost(config) on the cache this was sealed from.
   double Cost(const IndexConfig& config) const;
 
+  /// Pins `base` into `ctx`: resolves every term against `base` (SIMD
+  /// min-fold over the index-major matrix) and records the plan-scan
+  /// result, so base + {extra} questions become sparse overlays.
+  void PrepareContext(const IndexConfig& base, CostContext* ctx) const;
+
+  /// Re-pins `ctx` from its base configuration B to B + {extra} by
+  /// folding postings[extra] in permanently — O(postings), the greedy
+  /// advisor's iteration-to-iteration step once a winner is chosen.
+  /// Bit-identical to PrepareContext(B + {extra}, ctx): the values agree
+  /// term by term (min-folding the winner's matrix row changes exactly
+  /// the posting-bearing terms) and the plan rescan seeded with the old
+  /// base cost returns the exact new minimum.
+  void ExtendContext(CostContext* ctx, IndexId extra) const;
+
+  /// Cost of base + {extra} for the configuration pinned in `ctx`;
+  /// bit-identical to Cost(base_config + {extra}). Folds only
+  /// postings[extra] into the pinned term values (restoring them before
+  /// returning, so one context serves any number of extras in any
+  /// order). Ids outside the universe, ids already in the base, and ids
+  /// that cannot lower any term short-circuit to ctx->base_cost().
+  double CostWithExtra(CostContext* ctx, IndexId extra) const;
+
+  /// CostWithExtra for a whole sweep: out[i] = CostWithExtra(ctx,
+  /// extras[i]) for i in [0, n), bit-identically. The advisor-shaped
+  /// entry point: out is SIMD-filled with the base cost first, so the
+  /// many extras whose posting lists are empty for this query cost one
+  /// store instead of a call.
+  void CostExtrasInto(CostContext* ctx, const IndexId* extras, size_t n,
+                      double* out) const;
+
+  /// The inverted sweep for when the caller can amortize an id ->
+  /// output-slot map across queries: prices only this cache's
+  /// posting-bearing ids (PostingBearingIds) that the map points into
+  /// the sweep, writing out[position_of_id[id]]. `out` must already be
+  /// filled with ctx->base_cost() for every slot, and the map must be
+  /// injective on the swept ids (one slot per id); entries are
+  /// kNotSwept for ids not being swept, and ids >= map_size are not
+  /// swept. Bit-identical to CostExtrasInto over the same sweep.
+  static constexpr uint32_t kNotSwept = UINT32_MAX;
+  void CostActiveExtrasInto(CostContext* ctx, const uint32_t* position_of_id,
+                            size_t map_size, double* out) const;
+
+  /// Universe ids with non-empty posting lists: the only ids whose
+  /// addition can change any cost this cache serves.
+  const std::vector<IndexId>& PostingBearingIds() const {
+    return posting_ids_;
+  }
+
   /// Plans surviving dominance pruning.
   size_t NumPlans() const { return plans_.size(); }
   /// Plans the seal discarded as dominated.
   size_t NumPlansPruned() const { return plans_pruned_; }
   /// Distinct slot requirements shared across the surviving plans.
-  size_t NumTerms() const { return terms_.size(); }
+  size_t NumTerms() const { return term_bases_.size(); }
+  /// Total posting-list entries across the universe: (index, term) pairs
+  /// where the index can lower the term below its base cost. The delta
+  /// path's per-extra work is its share of these, not NumTerms().
+  size_t NumPostings() const { return posting_terms_.size(); }
 
  private:
-  /// One distinct (table position, requirement kind, column) slot
-  /// requirement, priced per configuration as
-  ///   min(base, min over config ids of per_index[id]).
-  struct Term {
-    /// Cost with the empty configuration (heap for unordered slots,
-    /// infinite for ordered/probe slots).
-    double base = kInfiniteCost;
-    /// Dense per-index cost, subscripted by IndexId.
-    std::vector<double> per_index;
-  };
-
   /// One surviving plan: internal cost plus a slice of
   /// (plan_term_ids_, plan_multipliers_) in original slot order.
   struct Plan {
@@ -83,7 +162,37 @@ class SealedCache {
     uint32_t num_slots = 0;
   };
 
-  std::vector<Term> terms_;
+  /// Min over plans of internal + sum(multiplier x values[term]), seeded
+  /// with upper bound `seed` (kInfiniteCost for a from-scratch scan);
+  /// early-exits on the ascending-internal-cost order.
+  double ScanPlans(const double* values, double seed) const;
+
+  /// The posting-overlay core shared by CostWithExtra and
+  /// CostExtrasInto: folds postings [begin, end) into ctx's pinned
+  /// values, scans, restores, returns the cost.
+  double CostOverlay(CostContext* ctx, uint32_t begin, uint32_t end) const;
+
+  /// One past the largest IndexId the sealed vectors cover.
+  size_t universe_ = 0;
+
+  /// Per-term cost under the empty configuration (heap for unordered
+  /// slots, infinite for ordered/probe slots).
+  std::vector<double> term_bases_;
+  /// Index-major term matrix: row id (length NumTerms()) holds every
+  /// term's cost under the singleton configuration {id}; entries for
+  /// terms the index cannot serve equal the term's base. Configuration
+  /// pricing min-folds whole rows, contiguously.
+  std::vector<double> per_index_values_;
+
+  /// CSR posting lists over [0, universe_): for id, the terms t (with
+  /// their per-index values) where matrix[id][t] < term_bases_[t] —
+  /// the only terms whose resolved min the index can ever lower.
+  std::vector<uint32_t> posting_offsets_;  // universe_ + 1 entries
+  std::vector<uint32_t> posting_terms_;
+  std::vector<double> posting_values_;
+  /// Ascending ids with a non-empty posting list.
+  std::vector<IndexId> posting_ids_;
+
   std::vector<Plan> plans_;  // ascending internal_cost
   std::vector<uint32_t> plan_term_ids_;
   std::vector<double> plan_multipliers_;

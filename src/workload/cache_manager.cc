@@ -91,6 +91,8 @@ StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
   }
   for (const SealedCache& sealed : result.sealed) {
     result.totals.plans_pruned += sealed.NumPlansPruned();
+    result.totals.terms += sealed.NumTerms();
+    result.totals.postings += sealed.NumPostings();
   }
   return result;
 }

@@ -67,6 +67,14 @@ struct WorkloadCacheStats {
   /// Plans the seal step discarded as dominated (can never win under any
   /// configuration); plans served = plans_cached - plans_pruned.
   size_t plans_pruned = 0;
+  /// Distinct shared slot-requirement terms across all sealed caches.
+  size_t terms = 0;
+  /// Posting-list entries across all sealed caches: (index, term) pairs
+  /// where the index can lower the term below its base cost. The delta
+  /// costing path's per-candidate work is proportional to postings per
+  /// index, not to terms — postings / (terms x universe ids) is the
+  /// sparsity the advisor's CostWithExtra sweep exploits.
+  size_t postings = 0;
   double wall_ms = 0;
   /// Wall time of the one-time seal pass (included in wall_ms).
   double seal_ms = 0;

@@ -130,5 +130,65 @@ TEST_F(AdvisorTest, LargerBudgetNeverHurts) {
   EXPECT_LE(r_large.workload_cost_after, r_small.workload_cost_after + 1e-6);
 }
 
+TEST_F(AdvisorTest, DeltaAndBatchedPathsReturnIdenticalResults) {
+  // The delta path (pinned per-query contexts + posting overlays) and
+  // the PR-2 batched path must agree on every field, bit for bit,
+  // across budgets tight enough to trigger the permanent drop of
+  // over-budget candidates mid-run.
+  for (int64_t budget :
+       {int64_t{0}, int64_t{2} * 1024 * 1024, int64_t{64} * 1024 * 1024,
+        int64_t{4} * 1024 * 1024 * 1024}) {
+    AdvisorOptions batched;
+    batched.budget_bytes = budget;
+    batched.cost_path = AdvisorCostPath::kBatched;
+    AdvisorOptions delta = batched;
+    delta.cost_path = AdvisorCostPath::kDelta;
+    const AdvisorResult b = RunGreedyAdvisor(caches_, set_, batched);
+    const AdvisorResult d = RunGreedyAdvisor(caches_, set_, delta);
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    ExpectSameAdvisorResult(b, d);
+  }
+}
+
+TEST_F(AdvisorTest, BatchCostWithExtrasMatchesBatchCost) {
+  // The evaluator's delta batch must price base + {extra} exactly like
+  // the from-scratch batch, including extras already in the base and
+  // ids outside the universe, and context reuse across calls (same
+  // base, then base grown by one) must not change anything.
+  std::vector<SealedCache> sealed;
+  for (const InumCache& cache : caches_) {
+    sealed.push_back(SealedCache::Seal(cache, set_.NumIndexIds()));
+  }
+  const WorkloadCostEvaluator evaluator(&sealed);
+  WorkloadCostEvaluator::EvalScratch scratch;
+
+  std::vector<IndexId> extras = set_.candidate_ids;
+  extras.push_back(set_.NumIndexIds() + 7);
+  extras.push_back(kInvalidIndexId);
+
+  IndexConfig base;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<IndexConfig> configs;
+    for (IndexId extra : extras) {
+      IndexConfig config = base;
+      config.push_back(extra);
+      configs.push_back(std::move(config));
+    }
+    const std::vector<double> expected = evaluator.BatchCost(configs);
+    // Twice with the same scratch: first call prepares (round 0) or
+    // extends (later rounds), second reuses the pinned contexts.
+    for (int pass = 0; pass < 2; ++pass) {
+      const std::vector<double>& got =
+          evaluator.BatchCostWithExtras(base, extras, &scratch);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t e = 0; e < expected.size(); ++e) {
+        EXPECT_EQ(got[e], expected[e])
+            << "round " << round << " pass " << pass << " extra " << e;
+      }
+    }
+    base.push_back(set_.candidate_ids[round]);  // next round extends
+  }
+}
+
 }  // namespace
 }  // namespace pinum

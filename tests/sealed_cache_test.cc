@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "advisor/candidate_generator.h"
+#include "advisor/greedy_advisor.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "inum/sealed_cache.h"
 #include "test_util.h"
 #include "whatif/candidate_set.h"
@@ -111,6 +114,57 @@ class SealedCacheTest : public ::testing::Test {
       }
     }
   }
+
+  /// The delta-costing property: with any base pinned into a context,
+  /// CostWithExtra(ctx, id) must equal Cost(base + {id}) bitwise for
+  /// every id — candidates on the query's tables (posting-bearing),
+  /// candidates on unrelated tables (empty postings), ids past the
+  /// universe, the invalid sentinel, and ids already in the base — and
+  /// the context must come back restored after every overlay. Bases
+  /// cover the same corners the Cost() suite pins: empty, duplicated
+  /// ids, out-of-universe ids, and configurations under which some
+  /// terms stay infeasible.
+  static void ExpectDeltaIdentical(const WorkloadCacheResult& built,
+                                   uint64_t seed) {
+    const std::vector<Query>& queries = fix_->workload.queries();
+    const IndexId universe = fix_->set.NumIndexIds();
+    Rng rng(seed);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const SealedCache& sealed = built.sealed[qi];
+      SealedCache::CostContext ctx;
+      for (int trial = 0; trial < 6; ++trial) {
+        IndexConfig base;
+        if (trial > 0) {
+          base = trial % 2 == 1
+                     ? RandomAtomicConfig(queries[qi], fix_->set, &rng)
+                     : RandomSubset(&rng, rng.NextDouble() * 0.15);
+          if (!base.empty() && rng.Chance(0.5)) {
+            base.push_back(base[rng.Index(base.size())]);
+          }
+          if (rng.Chance(0.3)) base.push_back(universe + 50);
+          if (rng.Chance(0.3)) base.push_back(kInvalidIndexId);
+        }
+        sealed.PrepareContext(base, &ctx);
+        EXPECT_EQ(ctx.base_cost(), sealed.Cost(base))
+            << "query " << qi << " trial " << trial;
+
+        std::vector<IndexId> extras = fix_->set.candidate_ids;
+        extras.push_back(universe + 3);
+        extras.push_back(kInvalidIndexId);
+        if (!base.empty()) extras.push_back(base[0]);
+        for (IndexId extra : extras) {
+          IndexConfig full = base;
+          full.push_back(extra);
+          EXPECT_EQ(sealed.CostWithExtra(&ctx, extra), sealed.Cost(full))
+              << "query " << qi << " trial " << trial << " extra " << extra;
+        }
+        // The overlays must have restored the pinned values exactly.
+        EXPECT_EQ(sealed.CostWithExtra(&ctx, kInvalidIndexId),
+                  sealed.Cost(base))
+            << "query " << qi << " trial " << trial;
+      }
+    }
+  }
 };
 
 SealedCacheTest::Fixture* SealedCacheTest::fix_ = nullptr;
@@ -121,6 +175,93 @@ TEST_F(SealedCacheTest, PinumSealedCostBitIdentical) {
 
 TEST_F(SealedCacheTest, ClassicSealedCostBitIdentical) {
   ExpectIdentical(fix_->classic, 103);
+}
+
+TEST_F(SealedCacheTest, PinumCostWithExtraBitIdentical) {
+  ExpectDeltaIdentical(fix_->pinum, 107);
+}
+
+TEST_F(SealedCacheTest, ClassicCostWithExtraBitIdentical) {
+  ExpectDeltaIdentical(fix_->classic, 109);
+}
+
+TEST_F(SealedCacheTest, SweepEntryPointsMatchSingleExtraCalls) {
+  // The batch sweeps (dense CostExtrasInto, inverted CostActiveExtrasInto)
+  // must price exactly like per-id CostWithExtra calls — including
+  // duplicate swept ids for the dense sweep.
+  Rng rng(113);
+  const IndexId universe = fix_->set.NumIndexIds();
+  for (size_t qi = 0; qi < fix_->pinum.sealed.size(); ++qi) {
+    const SealedCache& sealed = fix_->pinum.sealed[qi];
+    const IndexConfig base =
+        RandomAtomicConfig(fix_->workload.queries()[qi], fix_->set, &rng);
+    SealedCache::CostContext ctx;
+    sealed.PrepareContext(base, &ctx);
+
+    std::vector<IndexId> extras = fix_->set.candidate_ids;
+    extras.push_back(universe + 9);
+    extras.push_back(kInvalidIndexId);
+    extras.push_back(extras[0]);  // duplicate
+    std::vector<double> expected(extras.size());
+    for (size_t e = 0; e < extras.size(); ++e) {
+      expected[e] = sealed.CostWithExtra(&ctx, extras[e]);
+    }
+
+    std::vector<double> dense(extras.size());
+    sealed.CostExtrasInto(&ctx, extras.data(), extras.size(), dense.data());
+    EXPECT_EQ(dense, expected) << "query " << qi;
+
+    // Inverted sweep over the unique prefix (its contract requires an
+    // injective id -> slot map).
+    const size_t unique = extras.size() - 1;
+    std::vector<uint32_t> position_of_id(
+        static_cast<size_t>(universe) + 10, SealedCache::kNotSwept);
+    for (size_t e = 0; e < unique; ++e) {
+      if (extras[e] >= 0) {
+        position_of_id[static_cast<size_t>(extras[e])] =
+            static_cast<uint32_t>(e);
+      }
+    }
+    std::vector<double> inverted(unique);
+    simd::Fill(inverted.data(), ctx.base_cost(), unique);
+    sealed.CostActiveExtrasInto(&ctx, position_of_id.data(),
+                                position_of_id.size(), inverted.data());
+    for (size_t e = 0; e < unique; ++e) {
+      EXPECT_EQ(inverted[e], expected[e]) << "query " << qi << " slot " << e;
+    }
+  }
+}
+
+TEST_F(SealedCacheTest, ContextExtensionMatchesFreshPreparation) {
+  // Growing a context one winner at a time (the advisor's
+  // iteration-to-iteration step) must leave it indistinguishable from a
+  // context freshly prepared on the grown configuration.
+  Rng rng(127);
+  for (size_t qi = 0; qi < fix_->pinum.sealed.size(); ++qi) {
+    const SealedCache& sealed = fix_->pinum.sealed[qi];
+    SealedCache::CostContext grown;
+    sealed.PrepareContext({}, &grown);
+    IndexConfig config;
+    for (int step = 0; step < 6; ++step) {
+      const IndexId id =
+          fix_->set.candidate_ids[rng.Index(fix_->set.candidate_ids.size())];
+      config.push_back(id);
+      sealed.ExtendContext(&grown, id);
+      EXPECT_EQ(grown.base_cost(), sealed.Cost(config))
+          << "query " << qi << " step " << step;
+      SealedCache::CostContext fresh;
+      sealed.PrepareContext(config, &fresh);
+      EXPECT_EQ(grown.base_cost(), fresh.base_cost());
+      for (int probe = 0; probe < 8; ++probe) {
+        const IndexId extra =
+            fix_->set
+                .candidate_ids[rng.Index(fix_->set.candidate_ids.size())];
+        EXPECT_EQ(sealed.CostWithExtra(&grown, extra),
+                  sealed.CostWithExtra(&fresh, extra))
+            << "query " << qi << " step " << step << " extra " << extra;
+      }
+    }
+  }
 }
 
 TEST_F(SealedCacheTest, SealNeverGrowsThePlanSet) {
@@ -145,6 +286,35 @@ TEST_F(SealedCacheTest, BuilderCachesAreAlreadyIrredundant) {
     for (const SealedCache& sealed : built->sealed) {
       EXPECT_EQ(sealed.NumPlansPruned(), 0u);
     }
+  }
+}
+
+TEST_F(SealedCacheTest, AdvisorDeltaPathMatchesBatchedPath) {
+  // The advisor equivalence the ISSUE pins: the delta path (pinned
+  // contexts + posting overlays, extended winner by winner) must return
+  // the PR-2 batched path's AdvisorResult bit for bit, across stopping
+  // regimes (budget-bound, count-bound, benefit-bound) and with a
+  // thread pool sharding the delta evaluation across queries.
+  const WorkloadCostEvaluator evaluator(&fix_->pinum.sealed);
+  std::vector<AdvisorOptions> variants(4);
+  variants[1].budget_bytes = 64 * 1024 * 1024;
+  variants[2].max_indexes = 3;
+  variants[3].min_relative_benefit = 0;
+  for (size_t v = 0; v < variants.size(); ++v) {
+    AdvisorOptions batched = variants[v];
+    batched.cost_path = AdvisorCostPath::kBatched;
+    AdvisorOptions delta = variants[v];
+    delta.cost_path = AdvisorCostPath::kDelta;
+    const AdvisorResult b = RunGreedyAdvisor(evaluator, fix_->set, batched);
+    const AdvisorResult d = RunGreedyAdvisor(evaluator, fix_->set, delta);
+    SCOPED_TRACE("variant " + std::to_string(v));
+    ExpectSameAdvisorResult(b, d);
+    EXPECT_FALSE(b.chosen.empty());
+
+    ThreadPool pool(0);
+    const WorkloadCostEvaluator pooled(&fix_->pinum.sealed, &pool);
+    const AdvisorResult dp = RunGreedyAdvisor(pooled, fix_->set, delta);
+    ExpectSameAdvisorResult(b, dp);
   }
 }
 

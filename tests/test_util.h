@@ -3,11 +3,14 @@
 #ifndef PINUM_TESTS_TEST_UTIL_H_
 #define PINUM_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "advisor/greedy_advisor.h"
 #include "common/rng.h"
 #include "inum/access_cost_table.h"
 #include "query/query.h"
@@ -16,6 +19,28 @@
 #include "whatif/candidate_set.h"
 
 namespace pinum {
+
+/// Every field of two advisor runs, compared exactly — costs are
+/// doubles compared with ==, because the delta path's contract (and the
+/// batched/serial pricing contract before it) is bitwise equality, not
+/// approximate agreement. Any new AdvisorResult field belongs here so
+/// every equivalence suite enforces it.
+inline void ExpectSameAdvisorResult(const AdvisorResult& a,
+                                    const AdvisorResult& b) {
+  EXPECT_EQ(a.chosen, b.chosen);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].chosen, b.steps[i].chosen) << "step " << i;
+    EXPECT_EQ(a.steps[i].benefit, b.steps[i].benefit) << "step " << i;
+    EXPECT_EQ(a.steps[i].size_bytes, b.steps[i].size_bytes) << "step " << i;
+    EXPECT_EQ(a.steps[i].workload_cost_after, b.steps[i].workload_cost_after)
+        << "step " << i;
+  }
+  EXPECT_EQ(a.workload_cost_before, b.workload_cost_before);
+  EXPECT_EQ(a.workload_cost_after, b.workload_cost_after);
+  EXPECT_EQ(a.total_size_bytes, b.total_size_bytes);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
 
 /// Random atomic configuration over the candidates relevant to `q` (at
 /// most one index per table, each table filled with prob. `p_fill`) —
