@@ -1,0 +1,183 @@
+// Snapshot restart cost: cold workload build (optimizer calls + seal)
+// vs saving and re-loading the sealed caches from a snapshot file
+// (docs/SNAPSHOT_FORMAT.md) — the what-if service's restart path. The
+// restored caches must price bit-identically to the freshly built ones
+// (sampled configurations per query AND a full greedy-advisor run are
+// compared field for field); the load-vs-build speedup is the point,
+// and this harness doubles as the CI guard that restores never diverge.
+//
+//   $ ./bench_snapshot [replicas] [--smoke] [--json out.json]
+//                      [--min-speedup X]
+//
+// --smoke shrinks replication to 1x for CI/sanitizer runs but still
+// exercises build -> save -> load -> verify end to end, failing (exit 1)
+// on any divergence or snapshot error. --min-speedup X additionally
+// fails the run when snapshot-load is not at least X times faster than
+// the cold build.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "advisor/greedy_advisor.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "inum/snapshot.h"
+#include "workload/cache_manager.h"
+
+namespace pinum {
+namespace {
+
+int Run(int replicas, bool smoke, const std::string& json_path,
+        double min_speedup) {
+  StarSchemaWorkload w = bench::MakePaperWorkload();
+  CandidateSet set = bench::MakeCandidates(w);
+  const std::vector<Query> queries =
+      bench::ReplicateQueries(w.queries(), replicas);
+  std::printf("# snapshot restart: %zu queries (%dx replication), "
+              "%zu candidates\n",
+              queries.size(), replicas, set.candidate_ids.size());
+
+  // Cold path: what every advisor session pays without persistence.
+  WorkloadCacheBuilder builder(&w.db().catalog(), &set, &w.db().stats());
+  Stopwatch build_timer;
+  auto built = builder.BuildAll(queries);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const double build_ms = build_timer.ElapsedMillis();
+  const int64_t optimizer_calls =
+      built->totals.plan_cache_calls + built->totals.access_cost_calls;
+
+  const std::string path = "bench_snapshot.tmp.snap";
+  Stopwatch save_timer;
+  Status saved = builder.SaveSnapshot(path, *built, queries);
+  const double save_ms = save_timer.ElapsedMillis();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  int64_t file_bytes = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    file_bytes = std::ftell(f);
+    std::fclose(f);
+  }
+
+  // Warm path: the restart. Best of a few passes (load is deterministic).
+  const int passes = smoke ? 2 : 5;
+  double load_ms = 0;
+  WorkloadSnapshot snapshot;
+  for (int p = 0; p < passes; ++p) {
+    Stopwatch load_timer;
+    auto loaded = builder.LoadSnapshot(path);
+    const double ms = load_timer.ElapsedMillis();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      std::remove(path.c_str());
+      return 1;
+    }
+    snapshot = std::move(*loaded);
+    if (p == 0 || ms < load_ms) load_ms = ms;
+  }
+  std::remove(path.c_str());
+
+  // Identity guard 1: sampled configurations per query, bitwise.
+  Rng rng(331);
+  const int trials = smoke ? 10 : 40;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (int t = 0; t < trials; ++t) {
+      const IndexConfig config =
+          bench::RandomAtomicConfig(queries[qi], set, &rng);
+      const double fresh = built->sealed[qi].Cost(config);
+      const double restored = snapshot.sealed[qi].Cost(config);
+      // Bitwise identity; +inf == +inf, so the sentinel needs no case.
+      if (fresh != restored) {
+        std::fprintf(stderr,
+                     "FAIL: restored cost diverges on query %zu trial %d: "
+                     "%.17g vs %.17g\n",
+                     qi, t, fresh, restored);
+        return 1;
+      }
+    }
+  }
+
+  // Identity guard 2: the full greedy advisor, field for field.
+  AdvisorOptions aopts;
+  const AdvisorResult fresh = RunGreedyAdvisor(built->sealed, set, aopts);
+  const AdvisorResult restored =
+      RunGreedyAdvisor(snapshot.sealed, set, aopts);
+  if (fresh.chosen != restored.chosen ||
+      fresh.workload_cost_before != restored.workload_cost_before ||
+      fresh.workload_cost_after != restored.workload_cost_after ||
+      fresh.total_size_bytes != restored.total_size_bytes ||
+      fresh.evaluations != restored.evaluations) {
+    std::fprintf(stderr,
+                 "FAIL: advisor output from restored caches diverges\n");
+    return 1;
+  }
+
+  const double speedup = build_ms / (load_ms > 0 ? load_ms : 1e-9);
+  std::printf("# snapshot file: %lld bytes for %zu sealed caches "
+              "(%zu plans, %zu terms, %zu postings)\n",
+              static_cast<long long>(file_bytes), snapshot.sealed.size(),
+              built->totals.plans_cached - built->totals.plans_pruned,
+              built->totals.terms, built->totals.postings);
+  std::printf("%-28s %12s %16s\n", "path", "wall-ms", "optimizer-calls");
+  std::printf("%-28s %12.1f %16lld\n", "cold build (PINUM + seal)",
+              build_ms, static_cast<long long>(optimizer_calls));
+  std::printf("%-28s %12.1f %16d\n", "snapshot save", save_ms, 0);
+  std::printf("%-28s %12.2f %16d   (%.0fx faster than building)\n",
+              "snapshot load", load_ms, 0, speedup);
+
+  if (!json_path.empty()) {
+    bench::JsonSummary summary;
+    summary.Set("bench", std::string("snapshot"));
+    summary.Set("replicas", static_cast<int64_t>(replicas));
+    summary.Set("queries", static_cast<int64_t>(queries.size()));
+    summary.Set("candidates", static_cast<int64_t>(set.candidate_ids.size()));
+    summary.Set("snapshot_bytes", file_bytes);
+    summary.Set("cold_build_ms", build_ms);
+    summary.Set("optimizer_calls", optimizer_calls);
+    summary.Set("snapshot_save_ms", save_ms);
+    summary.Set("snapshot_load_ms", load_ms);
+    summary.Set("load_speedup", speedup);
+    summary.Set("min_speedup", min_speedup);
+    summary.Set("chosen_indexes", static_cast<int64_t>(restored.chosen.size()));
+    summary.Set("workload_cost_after", restored.workload_cost_after);
+    if (!summary.WriteTo(json_path)) return 1;
+  }
+
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot load speedup %.1fx below the %.1fx floor\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinum
+
+int main(int argc, char** argv) {
+  int replicas = -1;  // unspecified: 3x, or 1x under --smoke
+  bool smoke = false;
+  std::string json_path;
+  double min_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      replicas = std::atoi(argv[i]);
+      if (replicas < 1) replicas = 1;
+    }
+  }
+  if (replicas < 0) replicas = smoke ? 1 : 3;
+  return pinum::Run(replicas, smoke, json_path, min_speedup);
+}

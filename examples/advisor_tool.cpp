@@ -4,12 +4,20 @@
 // queries), and greedily picks indexes under a space budget — evaluating
 // thousands of configurations with pure arithmetic.
 //
-//   $ ./advisor_tool [budget_mb]
+// With --save the sealed caches are persisted to a versioned snapshot
+// file (docs/SNAPSHOT_FORMAT.md); with --load the build step is skipped
+// entirely — no optimizer call is made — and the advisor serves from the
+// restored caches, with bit-identical suggestions.
+//
+//   $ ./advisor_tool [budget_mb] [--save FILE | --load FILE]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "advisor/candidate_generator.h"
 #include "advisor/greedy_advisor.h"
+#include "common/stopwatch.h"
 #include "whatif/candidate_set.h"
 #include "workload/cache_manager.h"
 #include "workload/star_schema.h"
@@ -17,6 +25,33 @@
 using namespace pinum;
 
 int main(int argc, char** argv) {
+  AdvisorOptions aopts;
+  std::string save_path;
+  std::string load_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--save") == 0 ||
+        std::strcmp(argv[a], "--load") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file path\n", argv[a]);
+        return 2;
+      }
+      const bool is_save = std::strcmp(argv[a], "--save") == 0;
+      (is_save ? save_path : load_path) = argv[++a];
+    } else if (std::strncmp(argv[a], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: advisor_tool [budget_mb] "
+                   "[--save FILE | --load FILE]\n",
+                   argv[a]);
+      return 2;
+    } else {
+      aopts.budget_bytes = std::atoll(argv[a]) * 1024 * 1024;
+    }
+  }
+  if (!save_path.empty() && !load_path.empty()) {
+    std::fprintf(stderr, "--save and --load are mutually exclusive\n");
+    return 2;
+  }
+
   StarSchemaSpec spec;
   auto workload = StarSchemaWorkload::Create(spec);
   if (!workload.ok()) {
@@ -33,45 +68,89 @@ int main(int argc, char** argv) {
   auto set = MakeCandidateSet(db.catalog(), candidates);
   std::printf("candidate indexes: %zu\n", set->candidate_ids.size());
 
-  // One PINUM cache per query — a handful of optimizer calls each instead
-  // of the hundreds-to-thousands classic INUM would need — built
-  // concurrently with access-cost calls shared across queries.
   WorkloadCacheBuilder builder(&db.catalog(), &*set, &db.stats());
-  auto built = builder.BuildAll(workload->queries());
-  if (!built.ok()) {
-    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
-    return 1;
+  // The serving-ready caches come from one of two places: a fresh
+  // parallel PINUM build, or a snapshot written by an earlier --save —
+  // the restart path, milliseconds instead of optimizer calls.
+  std::vector<SealedCache> serving;
+  if (!load_path.empty()) {
+    Stopwatch load_timer;
+    auto snapshot = builder.LoadSnapshot(load_path);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+      return 1;
+    }
+    // The epoch binds catalog/candidates/stats but deliberately not the
+    // query set (any workload over the same universe may snapshot), so
+    // check here that these caches really are this workload's — serving
+    // another query set's caches would be silently wrong suggestions.
+    const std::vector<Query>& queries = workload->queries();
+    bool same_workload = snapshot->query_names.size() == queries.size();
+    for (size_t i = 0; same_workload && i < queries.size(); ++i) {
+      same_workload = snapshot->query_names[i] == queries[i].name;
+    }
+    if (!same_workload) {
+      std::fprintf(stderr,
+                   "snapshot %s holds %zu caches for a different query set; "
+                   "this workload has %zu queries — rebuild with --save\n",
+                   load_path.c_str(), snapshot->query_names.size(),
+                   queries.size());
+      return 1;
+    }
+    std::printf("snapshot restored: %zu sealed caches from %s in %.1f ms "
+                "(0 optimizer calls)\n",
+                snapshot->sealed.size(), load_path.c_str(),
+                load_timer.ElapsedMillis());
+    serving = std::move(snapshot->sealed);
+  } else {
+    // One PINUM cache per query — a handful of optimizer calls each
+    // instead of the hundreds-to-thousands classic INUM would need —
+    // built concurrently with access-cost calls shared across queries.
+    auto built = builder.BuildAll(workload->queries());
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < workload->queries().size(); ++i) {
+      const QueryBuildStats& qs = built->per_query[i];
+      std::printf("  %s: %zu cached plans (%lld optimizer calls, "
+                  "%lld shared)\n",
+                  workload->queries()[i].name.c_str(), qs.plans_cached,
+                  static_cast<long long>(qs.plan_cache_calls +
+                                         qs.access_cost_calls),
+                  static_cast<long long>(qs.access_calls_saved));
+    }
+    std::printf("total optimizer calls: %lld (%lld saved by sharing, "
+                "%.1f ms wall)\n",
+                static_cast<long long>(built->totals.plan_cache_calls +
+                                       built->totals.access_cost_calls),
+                static_cast<long long>(built->totals.access_calls_saved),
+                built->totals.wall_ms);
+    std::printf("sealed for serving: %zu of %zu plans pruned as dominated, "
+                "%zu shared terms, %zu postings (%.1f ms)\n",
+                built->totals.plans_pruned, built->totals.plans_cached,
+                built->totals.terms, built->totals.postings,
+                built->totals.seal_ms);
+    if (!save_path.empty()) {
+      Stopwatch save_timer;
+      Status st =
+          builder.SaveSnapshot(save_path, *built, workload->queries());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("snapshot saved to %s in %.1f ms "
+                  "(reload with --load to skip the build)\n",
+                  save_path.c_str(), save_timer.ElapsedMillis());
+    }
+    serving = std::move(built->sealed);
   }
-  for (size_t i = 0; i < workload->queries().size(); ++i) {
-    const QueryBuildStats& qs = built->per_query[i];
-    std::printf("  %s: %zu cached plans (%lld optimizer calls, "
-                "%lld shared)\n",
-                workload->queries()[i].name.c_str(), qs.plans_cached,
-                static_cast<long long>(qs.plan_cache_calls +
-                                       qs.access_cost_calls),
-                static_cast<long long>(qs.access_calls_saved));
-  }
-  std::printf("total optimizer calls: %lld (%lld saved by sharing, "
-              "%.1f ms wall)\n",
-              static_cast<long long>(built->totals.plan_cache_calls +
-                                     built->totals.access_cost_calls),
-              static_cast<long long>(built->totals.access_calls_saved),
-              built->totals.wall_ms);
-  std::printf("sealed for serving: %zu of %zu plans pruned as dominated, "
-              "%zu shared terms, %zu postings (%.1f ms)\n",
-              built->totals.plans_pruned, built->totals.plans_cached,
-              built->totals.terms, built->totals.postings,
-              built->totals.seal_ms);
 
-  AdvisorOptions aopts;
-  if (argc > 1) {
-    aopts.budget_bytes = std::atoll(argv[1]) * 1024 * 1024;
-  }
   // Delta pricing from the sealed serving form: every greedy iteration
   // pins chosen-so-far into per-query contexts (sharded over the
   // builder's pool) and sweeps all surviving candidates through their
   // posting overlays.
-  const WorkloadCostEvaluator evaluator(&built->sealed, builder.pool());
+  const WorkloadCostEvaluator evaluator(&serving, builder.pool());
   const AdvisorResult result = RunGreedyAdvisor(evaluator, *set, aopts);
 
   std::printf("\nbudget %.0f MB -> %zu indexes chosen (%.0f MB), "

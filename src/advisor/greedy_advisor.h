@@ -58,22 +58,32 @@ class WorkloadCostEvaluator {
     std::vector<uint32_t> position_of_id;
   };
 
-  /// `caches` must outlive the evaluator. `pool` is optional (serial
-  /// pricing when null) and not owned.
+  /// `caches` must outlive the evaluator (it may come from a fresh
+  /// WorkloadCacheBuilder::BuildAll or from a restored snapshot —
+  /// LoadSnapshot's caches serve bit-identically). `pool` is optional
+  /// (serial pricing when null) and not owned; it may be shared with
+  /// other users between calls but not during one.
   explicit WorkloadCostEvaluator(const std::vector<SealedCache>* caches,
                                  ThreadPool* pool = nullptr)
       : caches_(caches), pool_(pool) {}
 
-  /// Workload cost of one configuration: sum of per-query cache costs.
+  /// Workload cost of one configuration: sum of per-query cache costs,
+  /// added in query order (the canonical order every batch path reduces
+  /// in, which is what makes them bit-identical to this). Thread-safe.
   double Cost(const IndexConfig& config) const;
 
   /// Workload cost of every configuration; result[i] prices configs[i].
+  /// Configurations shard across the pool when one was given;
+  /// scheduling never affects the returned bits. Thread-safe.
   std::vector<double> BatchCost(const std::vector<IndexConfig>& configs) const;
 
   /// Workload cost of base + {extras[i]} for every i, through the delta
   /// path; the returned reference (scratch->totals) is valid until the
   /// next call with the same scratch. result[i] is bit-identical to
-  /// Cost(base + {extras[i]}).
+  /// Cost(base + {extras[i]}). Duplicate ids in `extras` are allowed
+  /// (each slot is priced independently); ids outside the universe and
+  /// ids already in `base` price as Cost(base). NOT thread-safe with
+  /// respect to `scratch`: one scratch, one caller at a time.
   const std::vector<double>& BatchCostWithExtras(
       const IndexConfig& base, const std::vector<IndexId>& extras,
       EvalScratch* scratch) const;
@@ -138,6 +148,13 @@ struct AdvisorResult {
 /// working set permanently once they can never return: unknown ids up
 /// front, and over-budget ids as soon as they stop fitting (the used
 /// budget only grows).
+///
+/// Deterministic: the result is a pure function of (caches, candidates,
+/// options) — ties break on candidate order rank, pool sharding never
+/// changes reduction order — so runs on a fresh build, on a restored
+/// snapshot, on either cost path, and at any thread count are all
+/// bit-identical (the equivalence suites in tests/advisor_test.cc and
+/// tests/snapshot_test.cc pin this).
 AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options);

@@ -19,6 +19,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A precondition the caller must re-establish does not hold (e.g. a
+  /// snapshot's catalog/stats epoch no longer matches the live system).
+  kFailedPrecondition,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -53,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -45,6 +45,10 @@
 //
 // The API is seal-only by design: InumCache stays the mutable build-time
 // type, SealedCache the immutable serve-time type; there is no Unseal.
+// The sealed form is also the unit of persistence: its flat vectors are
+// exactly what snapshot.{h,cc} writes to disk (SnapshotCodec is the one
+// friend with field access), so a restored cache serves through the same
+// code paths — and with the same bits — as a freshly sealed one.
 #ifndef PINUM_INUM_SEALED_CACHE_H_
 #define PINUM_INUM_SEALED_CACHE_H_
 
@@ -55,6 +59,8 @@
 #include "inum/cache.h"
 
 namespace pinum {
+
+class SnapshotCodec;
 
 class SealedCache {
  public:
@@ -92,6 +98,9 @@ class SealedCache {
 
   /// Estimated query cost under `config`; bit-identical to
   /// InumCache::Cost(config) on the cache this was sealed from.
+  /// Thread-safe: concurrent Cost() calls on one cache never share state
+  /// (the scratch context is thread-local), which is what lets the
+  /// batched evaluator price configurations on a pool.
   double Cost(const IndexConfig& config) const;
 
   /// Pins `base` into `ctx`: resolves every term against `base` (SIMD
@@ -154,6 +163,12 @@ class SealedCache {
   size_t NumPostings() const { return posting_terms_.size(); }
 
  private:
+  /// The persistence layer (src/inum/snapshot.cc) serializes and
+  /// restores the flat vectors below verbatim; any new field must be
+  /// added to the codec and to docs/SNAPSHOT_FORMAT.md in the same
+  /// change (bump kSnapshotFormatVersion).
+  friend class SnapshotCodec;
+
   /// One surviving plan: internal cost plus a slice of
   /// (plan_term_ids_, plan_multipliers_) in original slot order.
   struct Plan {

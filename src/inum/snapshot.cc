@@ -1,0 +1,682 @@
+// Implementation of the snapshot format specified in
+// docs/SNAPSHOT_FORMAT.md. Keep the two in lockstep: any change to the
+// bytes written here must bump kSnapshotFormatVersion (snapshot.h) and
+// be recorded in the spec's version history.
+#include "inum/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+namespace pinum {
+
+namespace {
+
+// ---- File-level constants (see docs/SNAPSHOT_FORMAT.md) -----------------
+
+constexpr char kMagic[8] = {'P', 'I', 'N', 'U', 'M', 'S', 'N', 'P'};
+/// Written in the host's byte order; a reader on the other endianness
+/// sees the bytes reversed and rejects the file instead of decoding
+/// garbage.
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr size_t kHeaderBytes = 40;
+constexpr size_t kSectionEntryBytes = 24;
+
+/// Section tags. Unknown tags are skipped on read (a same-version writer
+/// may append informational sections), but the three below are required.
+constexpr uint32_t kSectionEpoch = 1;
+constexpr uint32_t kSectionQueries = 2;
+constexpr uint32_t kSectionCaches = 3;
+
+// ---- FNV-1a 64: the checksum and the epoch fingerprints -----------------
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Canonical-serialization hasher for the epoch fingerprints: every
+/// field is folded as fixed-width bytes (doubles as their IEEE-754 bit
+/// patterns), with lengths prefixed so concatenations cannot collide.
+class Fingerprint {
+ public:
+  void U64(uint64_t v) { h_ = FnvBytes(h_, &v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    h_ = FnvBytes(h_, s.data(), s.size());
+  }
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnvOffset;
+};
+
+// ---- Byte-level encode/decode helpers -----------------------------------
+
+class ByteWriter {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Raw(const void* data, size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  /// u64 element count + raw element bytes.
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& bytes() const { return out_; }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::Internal("snapshot corrupt: " + what);
+}
+
+/// Bounds-checked reader over one section's bytes. Overruns report
+/// kInternal (corruption): by the time sections are decoded, the
+/// header's file-size check has already ruled plain truncation out.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status Raw(void* dst, size_t n, const char* what) {
+    if (n > size_ - pos_) return Corrupt(std::string(what) + " overruns its section");
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status U32(uint32_t* v, const char* what) { return Raw(v, sizeof(*v), what); }
+  Status U64(uint64_t* v, const char* what) { return Raw(v, sizeof(*v), what); }
+  Status I32(int32_t* v, const char* what) { return Raw(v, sizeof(*v), what); }
+  Status F64(double* v, const char* what) { return Raw(v, sizeof(*v), what); }
+
+  /// Reads a u64-count-prefixed element array. The count is validated
+  /// against the bytes actually remaining before anything is allocated,
+  /// so a crafted count cannot trigger a huge resize.
+  template <typename T>
+  Status Vec(std::vector<T>* out, const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    PINUM_RETURN_IF_ERROR(U64(&count, what));
+    if (count > (size_ - pos_) / sizeof(T)) {
+      return Corrupt(std::string(what) + " count overruns its section");
+    }
+    out->resize(static_cast<size_t>(count));
+    if (count != 0) {
+      std::memcpy(out->data(), data_ + pos_,
+                  static_cast<size_t>(count) * sizeof(T));
+      pos_ += static_cast<size_t>(count) * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  /// Bytes left in the section — the bound every count read from the
+  /// file must be validated against *before* any allocation.
+  size_t Remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---- SealedCache field access (the one friend, see sealed_cache.h) ------
+
+class SnapshotCodec {
+ public:
+  static void Encode(const SealedCache& c, ByteWriter* w) {
+    w->U64(c.universe_);
+    w->U64(c.plans_pruned_);
+    w->Vec(c.term_bases_);
+    w->Vec(c.per_index_values_);
+    // A default-constructed (never sealed) cache has no offsets vector
+    // yet; on disk the CSR invariant `universe + 1 offsets` always
+    // holds, so normalize to the empty universe's {0}. The restored
+    // cache is behaviorally identical: with universe 0 no code path
+    // reads past offset 0.
+    if (c.posting_offsets_.empty()) {
+      w->Vec(std::vector<uint32_t>{0});
+    } else {
+      w->Vec(c.posting_offsets_);
+    }
+    w->Vec(c.posting_terms_);
+    w->Vec(c.posting_values_);
+    w->U64(c.plans_.size());
+    for (const SealedCache::Plan& plan : c.plans_) {
+      w->F64(plan.internal_cost);
+      w->U32(plan.first_slot);
+      w->U32(plan.num_slots);
+    }
+    w->Vec(c.plan_term_ids_);
+    w->Vec(c.plan_multipliers_);
+  }
+
+  /// Decodes one cache and re-validates every structural invariant the
+  /// serving scans rely on, so a decoded cache is safe to serve from
+  /// even if the file was crafted: CSR offsets are monotone and closed
+  /// by the posting arrays, every stored term id is in range, plan slot
+  /// slices stay inside the slot arrays, plans are ordered by the
+  /// internal-cost lower bound (the early-exit invariant), and postings
+  /// are strict improvements over their term's base. The derived
+  /// posting-bearing id list is rebuilt rather than stored.
+  static Status Decode(ByteReader* r, SealedCache* out) {
+    uint64_t universe = 0;
+    uint64_t pruned = 0;
+    PINUM_RETURN_IF_ERROR(r->U64(&universe, "cache universe"));
+    PINUM_RETURN_IF_ERROR(r->U64(&pruned, "cache pruned-plan count"));
+    if (universe >
+        static_cast<uint64_t>(std::numeric_limits<IndexId>::max())) {
+      return Corrupt("universe size does not fit IndexId");
+    }
+    out->universe_ = static_cast<size_t>(universe);
+    out->plans_pruned_ = static_cast<size_t>(pruned);
+
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->term_bases_, "term bases"));
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->per_index_values_, "term matrix"));
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->posting_offsets_, "posting offsets"));
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->posting_terms_, "posting terms"));
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->posting_values_, "posting values"));
+
+    const size_t num_terms = out->term_bases_.size();
+    // Division instead of universe * num_terms: no overflow to exploit.
+    if (num_terms == 0 ? !out->per_index_values_.empty()
+                       : out->per_index_values_.size() % num_terms != 0 ||
+                             out->per_index_values_.size() / num_terms !=
+                                 out->universe_) {
+      return Corrupt("term matrix is not universe x terms");
+    }
+    if (out->posting_offsets_.size() != out->universe_ + 1) {
+      return Corrupt("posting offsets do not cover the universe");
+    }
+    if (out->posting_offsets_.front() != 0 ||
+        out->posting_offsets_.back() != out->posting_terms_.size() ||
+        out->posting_terms_.size() != out->posting_values_.size()) {
+      return Corrupt("posting lists are not closed by their offsets");
+    }
+    for (size_t id = 0; id < out->universe_; ++id) {
+      if (out->posting_offsets_[id] > out->posting_offsets_[id + 1]) {
+        return Corrupt("posting offsets are not monotone");
+      }
+    }
+    for (size_t p = 0; p < out->posting_terms_.size(); ++p) {
+      if (out->posting_terms_[p] >= num_terms) {
+        return Corrupt("posting names a term out of range");
+      }
+      if (!(out->posting_values_[p] <
+            out->term_bases_[out->posting_terms_[p]])) {
+        return Corrupt("posting is not a strict improvement over its base");
+      }
+    }
+
+    uint64_t num_plans = 0;
+    PINUM_RETURN_IF_ERROR(r->U64(&num_plans, "plan count"));
+    // Each plan record is 16 bytes; bound the count by the bytes that
+    // are actually left before reserving anything.
+    if (num_plans > r->Remaining() / 16) {
+      return Corrupt("plan count overruns its section");
+    }
+    out->plans_.clear();
+    out->plans_.reserve(static_cast<size_t>(num_plans));
+    for (uint64_t i = 0; i < num_plans; ++i) {
+      SealedCache::Plan plan;
+      PINUM_RETURN_IF_ERROR(r->F64(&plan.internal_cost, "plan internal cost"));
+      PINUM_RETURN_IF_ERROR(r->U32(&plan.first_slot, "plan first slot"));
+      PINUM_RETURN_IF_ERROR(r->U32(&plan.num_slots, "plan slot count"));
+      if (i > 0 &&
+          !(out->plans_.back().internal_cost <= plan.internal_cost)) {
+        return Corrupt("plans are not sorted by internal cost");
+      }
+      out->plans_.push_back(plan);
+    }
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->plan_term_ids_, "plan term ids"));
+    PINUM_RETURN_IF_ERROR(r->Vec(&out->plan_multipliers_, "plan multipliers"));
+    if (out->plan_term_ids_.size() != out->plan_multipliers_.size()) {
+      return Corrupt("plan slot arrays disagree in length");
+    }
+    for (const SealedCache::Plan& plan : out->plans_) {
+      if (static_cast<uint64_t>(plan.first_slot) + plan.num_slots >
+          out->plan_term_ids_.size()) {
+        return Corrupt("plan slots overrun the slot arrays");
+      }
+    }
+    for (uint32_t t : out->plan_term_ids_) {
+      if (t >= num_terms) return Corrupt("plan names a term out of range");
+    }
+
+    out->posting_ids_.clear();
+    for (size_t id = 0; id < out->universe_; ++id) {
+      if (out->posting_offsets_[id + 1] > out->posting_offsets_[id]) {
+        out->posting_ids_.push_back(static_cast<IndexId>(id));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+namespace {
+
+// ---- Epoch fingerprints -------------------------------------------------
+
+uint64_t SchemaFingerprint(const CandidateSet& set) {
+  Fingerprint fp;
+  const Catalog& cat = set.universe;
+  fp.U64(cat.tables().size());
+  for (const auto& [id, table] : cat.tables()) {
+    fp.I64(id);
+    fp.Str(table.name);
+    fp.U64(table.columns.size());
+    for (const ColumnDef& col : table.columns) {
+      fp.Str(col.name);
+      fp.I64(static_cast<int64_t>(col.type));
+    }
+  }
+  fp.U64(cat.foreign_keys().size());
+  for (const ForeignKey& fk : cat.foreign_keys()) {
+    fp.I64(fk.child_table);
+    fp.I64(fk.child_column);
+    fp.I64(fk.parent_table);
+    fp.I64(fk.parent_column);
+  }
+  // Index definitions include the size statistics (leaf/total pages,
+  // height): the advisor prices index bytes from them, so a size drift
+  // is an epoch change even when key columns are unchanged.
+  fp.U64(cat.indexes().size());
+  for (const auto& [id, index] : cat.indexes()) {
+    fp.I64(id);
+    fp.Str(index.name);
+    fp.I64(index.table);
+    fp.U64(index.key_columns.size());
+    for (ColumnIdx c : index.key_columns) fp.I64(c);
+    fp.I64(index.hypothetical ? 1 : 0);
+    fp.I64(index.leaf_pages);
+    fp.I64(index.total_pages);
+    fp.I64(index.height);
+  }
+  fp.U64(set.base_index_ids.size());
+  for (IndexId id : set.base_index_ids) fp.I64(id);
+  return fp.hash();
+}
+
+uint64_t StatsFingerprint(const StatsCatalog& stats) {
+  Fingerprint fp;
+  fp.U64(stats.all().size());
+  for (const auto& [table, ts] : stats.all()) {
+    fp.I64(table);
+    fp.F64(ts.row_count);
+    fp.F64(ts.heap_pages);
+    fp.U64(ts.columns.size());
+    for (const ColumnStats& cs : ts.columns) {
+      fp.F64(cs.n_distinct);
+      fp.I64(cs.min);
+      fp.I64(cs.max);
+      fp.F64(cs.correlation);
+      fp.U64(cs.histogram.bounds().size());
+      for (Value b : cs.histogram.bounds()) fp.I64(b);
+    }
+  }
+  return fp.hash();
+}
+
+// ---- Section payloads ---------------------------------------------------
+
+ByteWriter EncodeEpochSection(const SnapshotEpoch& epoch) {
+  ByteWriter w;
+  w.U64(epoch.schema_hash);
+  w.U64(epoch.stats_hash);
+  w.I32(epoch.universe);
+  w.Vec(epoch.candidate_ids);
+  return w;
+}
+
+Status DecodeEpochSection(const char* data, size_t size,
+                          SnapshotEpoch* epoch) {
+  ByteReader r(data, size);
+  PINUM_RETURN_IF_ERROR(r.U64(&epoch->schema_hash, "schema hash"));
+  PINUM_RETURN_IF_ERROR(r.U64(&epoch->stats_hash, "stats hash"));
+  PINUM_RETURN_IF_ERROR(r.I32(&epoch->universe, "universe size"));
+  if (epoch->universe < 0) return Corrupt("negative universe size");
+  PINUM_RETURN_IF_ERROR(r.Vec(&epoch->candidate_ids, "candidate ids"));
+  if (!r.AtEnd()) return Corrupt("trailing bytes in epoch section");
+  return Status::OK();
+}
+
+// ---- Whole-file framing -------------------------------------------------
+
+struct SnapshotFile {
+  std::string bytes;
+  struct Section {
+    uint32_t tag = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  std::vector<Section> sections;
+
+  const Section* Find(uint32_t tag) const {
+    for (const Section& s : sections) {
+      if (s.tag == tag) return &s;
+    }
+    return nullptr;
+  }
+  const char* SectionData(const Section& s) const {
+    return bytes.data() + s.offset;
+  }
+};
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open snapshot " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("I/O error reading snapshot " + path);
+  }
+  *out = std::move(bytes);
+  return Status::OK();
+}
+
+/// Opens and validates the file-level framing: magic, byte order,
+/// version, declared length, checksum, and section-table bounds. Every
+/// failure mode maps to its own StatusCode (see snapshot.h).
+StatusOr<SnapshotFile> OpenSnapshot(const std::string& path) {
+  SnapshotFile file;
+  PINUM_RETURN_IF_ERROR(ReadFileBytes(path, &file.bytes));
+  const char* data = file.bytes.data();
+  const size_t actual_size = file.bytes.size();
+  char msg[160];
+
+  if (actual_size < kHeaderBytes) {
+    std::snprintf(msg, sizeof(msg),
+                  "snapshot truncated: %zu bytes is smaller than the %zu-byte"
+                  " header",
+                  actual_size, kHeaderBytes);
+    return Status::OutOfRange(msg);
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a pinum snapshot (bad magic)");
+  }
+  uint32_t endian, version, section_count;
+  uint64_t declared_size, checksum;
+  std::memcpy(&endian, data + 8, 4);
+  std::memcpy(&version, data + 12, 4);
+  std::memcpy(&section_count, data + 16, 4);
+  std::memcpy(&declared_size, data + 24, 8);
+  std::memcpy(&checksum, data + 32, 8);
+  if (endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        "snapshot byte order differs from this host's (written on a"
+        " foreign-endian machine)");
+  }
+  if (version > kSnapshotFormatVersion) {
+    std::snprintf(msg, sizeof(msg),
+                  "snapshot format version %u is newer than the newest"
+                  " supported (%u); rebuild the snapshot or upgrade",
+                  version, kSnapshotFormatVersion);
+    return Status::Unimplemented(msg);
+  }
+  if (version == 0) return Corrupt("format version 0");
+  if (declared_size > actual_size) {
+    std::snprintf(msg, sizeof(msg),
+                  "snapshot truncated: file is %zu bytes, header declares"
+                  " %" PRIu64,
+                  actual_size, declared_size);
+    return Status::OutOfRange(msg);
+  }
+  if (declared_size < actual_size) {
+    return Corrupt("trailing bytes past the declared file size");
+  }
+  if (FnvBytes(kFnvOffset, data + kHeaderBytes,
+               actual_size - kHeaderBytes) != checksum) {
+    return Corrupt("checksum mismatch");
+  }
+
+  const size_t table_bytes =
+      static_cast<size_t>(section_count) * kSectionEntryBytes;
+  if (table_bytes > actual_size - kHeaderBytes) {
+    return Corrupt("section table overruns the file");
+  }
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = data + kHeaderBytes + i * kSectionEntryBytes;
+    SnapshotFile::Section s;
+    std::memcpy(&s.tag, entry, 4);
+    std::memcpy(&s.offset, entry + 8, 8);
+    std::memcpy(&s.length, entry + 16, 8);
+    if (s.offset < kHeaderBytes + table_bytes || s.offset > actual_size ||
+        s.length > actual_size - s.offset) {
+      return Corrupt("section overruns the file");
+    }
+    file.sections.push_back(s);
+  }
+  return file;
+}
+
+StatusOr<SnapshotEpoch> DecodeEpoch(const SnapshotFile& file) {
+  const SnapshotFile::Section* s = file.Find(kSectionEpoch);
+  if (s == nullptr) return Corrupt("missing epoch section");
+  SnapshotEpoch epoch;
+  PINUM_RETURN_IF_ERROR(DecodeEpochSection(
+      file.SectionData(*s), static_cast<size_t>(s->length), &epoch));
+  return epoch;
+}
+
+std::string HashMismatch(const char* what, uint64_t stored,
+                         uint64_t current) {
+  char msg[192];
+  std::snprintf(msg, sizeof(msg),
+                "snapshot epoch mismatch: %s fingerprint is now"
+                " %016" PRIx64 " but the snapshot was sealed under"
+                " %016" PRIx64 "; rebuild the caches and save a fresh"
+                " snapshot",
+                what, current, stored);
+  return msg;
+}
+
+}  // namespace
+
+SnapshotEpoch ComputeSnapshotEpoch(const CandidateSet& set,
+                                   const StatsCatalog& stats) {
+  SnapshotEpoch epoch;
+  epoch.schema_hash = SchemaFingerprint(set);
+  epoch.stats_hash = StatsFingerprint(stats);
+  epoch.universe = set.NumIndexIds();
+  epoch.candidate_ids = set.candidate_ids;
+  return epoch;
+}
+
+Status SaveSnapshot(const std::string& path,
+                    const std::vector<std::string>& query_names,
+                    const std::vector<SealedCache>& sealed,
+                    const SnapshotEpoch& epoch) {
+  if (query_names.size() != sealed.size()) {
+    return Status::InvalidArgument(
+        "query_names and sealed caches must be parallel vectors");
+  }
+
+  const ByteWriter epoch_section = EncodeEpochSection(epoch);
+  ByteWriter queries_section;
+  queries_section.U32(static_cast<uint32_t>(query_names.size()));
+  for (const std::string& name : query_names) {
+    queries_section.U32(static_cast<uint32_t>(name.size()));
+    queries_section.Raw(name.data(), name.size());
+  }
+  ByteWriter caches_section;
+  caches_section.U32(static_cast<uint32_t>(sealed.size()));
+  for (const SealedCache& cache : sealed) {
+    SnapshotCodec::Encode(cache, &caches_section);
+  }
+
+  const std::pair<uint32_t, const ByteWriter*> sections[] = {
+      {kSectionEpoch, &epoch_section},
+      {kSectionQueries, &queries_section},
+      {kSectionCaches, &caches_section},
+  };
+  const uint32_t section_count = 3;
+
+  // Section table + payloads ("the body") — the checksummed region.
+  ByteWriter body;
+  uint64_t offset =
+      kHeaderBytes + static_cast<uint64_t>(section_count) * kSectionEntryBytes;
+  for (const auto& [tag, payload] : sections) {
+    body.U32(tag);
+    body.U32(0);  // reserved
+    body.U64(offset);
+    body.U64(payload->size());
+    offset += payload->size();
+  }
+  for (const auto& [tag, payload] : sections) {
+    (void)tag;
+    body.Raw(payload->bytes().data(), payload->size());
+  }
+
+  ByteWriter header;
+  header.Raw(kMagic, sizeof(kMagic));
+  header.U32(kEndianMarker);
+  header.U32(kSnapshotFormatVersion);
+  header.U32(section_count);
+  header.U32(0);  // reserved
+  header.U64(kHeaderBytes + body.size());
+  header.U64(FnvBytes(kFnvOffset, body.bytes().data(), body.size()));
+
+  // Write-temp-then-rename: a failed or interrupted save (full disk,
+  // crash mid-write) must never destroy the previously good snapshot at
+  // `path` — losing it would force exactly the optimizer-call rebuild
+  // persistence exists to avoid.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + " for writing");
+  }
+  const bool wrote =
+      std::fwrite(header.bytes().data(), 1, header.size(), f) ==
+          header.size() &&
+      std::fwrite(body.bytes().data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("I/O error writing snapshot " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<SnapshotEpoch> ReadSnapshotEpoch(const std::string& path) {
+  PINUM_ASSIGN_OR_RETURN(const SnapshotFile file, OpenSnapshot(path));
+  return DecodeEpoch(file);
+}
+
+StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
+                                        const SnapshotEpoch& expected) {
+  PINUM_ASSIGN_OR_RETURN(const SnapshotFile file, OpenSnapshot(path));
+  PINUM_ASSIGN_OR_RETURN(const SnapshotEpoch stored, DecodeEpoch(file));
+
+  if (stored.schema_hash != expected.schema_hash) {
+    return Status::FailedPrecondition(HashMismatch(
+        "catalog schema", stored.schema_hash, expected.schema_hash));
+  }
+  if (stored.stats_hash != expected.stats_hash) {
+    return Status::FailedPrecondition(
+        HashMismatch("statistics", stored.stats_hash, expected.stats_hash));
+  }
+  if (stored.universe != expected.universe ||
+      stored.candidate_ids.size() != expected.candidate_ids.size()) {
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "snapshot epoch mismatch: candidate universe now has %d ids"
+                  " (%zu candidates) but the snapshot was sealed over %d ids"
+                  " (%zu candidates); rebuild the caches and save a fresh"
+                  " snapshot",
+                  expected.universe, expected.candidate_ids.size(),
+                  stored.universe, stored.candidate_ids.size());
+    return Status::FailedPrecondition(msg);
+  }
+  if (stored.candidate_ids != expected.candidate_ids) {
+    // Same counts, different ids: the counts would read identically, so
+    // say what actually changed.
+    return Status::FailedPrecondition(
+        "snapshot epoch mismatch: the candidate-id vocabulary changed"
+        " (same universe size, different ids — candidates were"
+        " regenerated); rebuild the caches and save a fresh snapshot");
+  }
+
+  WorkloadSnapshot snapshot;
+  const SnapshotFile::Section* queries = file.Find(kSectionQueries);
+  if (queries == nullptr) return Corrupt("missing query-names section");
+  {
+    ByteReader r(file.SectionData(*queries),
+                 static_cast<size_t>(queries->length));
+    uint32_t count = 0;
+    PINUM_RETURN_IF_ERROR(r.U32(&count, "query count"));
+    // Every entry takes at least its 4-byte length field: bound the
+    // count (and each name length) by the remaining bytes before any
+    // allocation, so a crafted count yields a Status, not bad_alloc.
+    if (count > r.Remaining() / 4) {
+      return Corrupt("query count overruns its section");
+    }
+    snapshot.query_names.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t len = 0;
+      PINUM_RETURN_IF_ERROR(r.U32(&len, "query-name length"));
+      if (len > r.Remaining()) {
+        return Corrupt("query name overruns its section");
+      }
+      std::string name(len, '\0');
+      PINUM_RETURN_IF_ERROR(r.Raw(name.data(), len, "query name"));
+      snapshot.query_names.push_back(std::move(name));
+    }
+    if (!r.AtEnd()) return Corrupt("trailing bytes in query-names section");
+  }
+
+  const SnapshotFile::Section* caches = file.Find(kSectionCaches);
+  if (caches == nullptr) return Corrupt("missing caches section");
+  {
+    ByteReader r(file.SectionData(*caches),
+                 static_cast<size_t>(caches->length));
+    uint32_t count = 0;
+    PINUM_RETURN_IF_ERROR(r.U32(&count, "cache count"));
+    if (count != snapshot.query_names.size()) {
+      return Corrupt("cache count does not match query count");
+    }
+    snapshot.sealed.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      PINUM_RETURN_IF_ERROR(SnapshotCodec::Decode(&r, &snapshot.sealed[i]));
+    }
+    if (!r.AtEnd()) return Corrupt("trailing bytes in caches section");
+  }
+  return snapshot;
+}
+
+}  // namespace pinum

@@ -1,0 +1,111 @@
+// Sealed-cache snapshots: versioned on-disk persistence for the serving
+// layer. One snapshot file holds a whole workload's sealed caches (plus
+// the query names they belong to), so a what-if service or advisor
+// session can restart in milliseconds instead of re-paying the optimizer
+// calls the caches were built from — the restart-cost gap the paper's
+// "one optimizer call" pitch leaves open.
+//
+// The format is specified byte-for-byte in docs/SNAPSHOT_FORMAT.md; the
+// spec and this code are kept in lockstep through kSnapshotFormatVersion
+// (bump it in both places together). Three properties the format
+// guarantees:
+//
+//  - exact round-trip: doubles are stored as their raw IEEE-754 bit
+//    patterns (the kInfiniteCost sentinel included), so a restored
+//    cache's Cost()/CostWithExtra() answers are bit-identical to the
+//    sealed original's — the same contract sealing itself makes against
+//    the build-time cache;
+//  - loud staleness: every snapshot embeds an epoch fingerprint of the
+//    catalog schema, the candidate universe (size and ids), and the
+//    statistics it was sealed under. Loading against a system whose
+//    epoch differs fails with kFailedPrecondition instead of silently
+//    serving costs for a world that no longer exists;
+//  - no trust in the bytes: the file carries its own length and a
+//    checksum, every section read is bounds-checked, and the decoded
+//    cache's structural invariants (CSR monotonicity, term-id ranges,
+//    plan ordering) are re-validated, so a truncated, corrupt, or
+//    crafted file yields a descriptive Status, never UB.
+//
+// Distinct failure paths return distinct codes: kNotFound (missing
+// file), kOutOfRange (truncated), kInvalidArgument (not a snapshot /
+// foreign byte order), kUnimplemented (future format version),
+// kInternal (corruption), kFailedPrecondition (epoch mismatch).
+#ifndef PINUM_INUM_SNAPSHOT_H_
+#define PINUM_INUM_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "inum/sealed_cache.h"
+#include "stats/table_stats.h"
+#include "whatif/candidate_set.h"
+
+namespace pinum {
+
+/// On-disk format version this build writes and the newest it can read.
+/// Version history lives in docs/SNAPSHOT_FORMAT.md.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Fingerprint of the world a snapshot was sealed under. Two systems
+/// agree on an epoch iff costs sealed on one are valid on the other:
+/// the schema hash covers tables, columns, foreign keys, and every
+/// universe index definition (key columns and size statistics included —
+/// the advisor prices bytes from them); the stats hash covers every
+/// table's row counts, pages, and per-column statistics; the candidate
+/// ids pin the universe's stable-id vocabulary that sealed vectors are
+/// subscripted by.
+struct SnapshotEpoch {
+  uint64_t schema_hash = 0;
+  uint64_t stats_hash = 0;
+  /// One past the largest universe IndexId (CandidateSet::NumIndexIds).
+  IndexId universe = 0;
+  std::vector<IndexId> candidate_ids;
+
+  bool operator==(const SnapshotEpoch&) const = default;
+};
+
+/// The epoch of a live (candidate universe, statistics) pair —
+/// deterministic FNV-1a over a canonical byte serialization, so equal
+/// inputs hash equally across processes and runs.
+SnapshotEpoch ComputeSnapshotEpoch(const CandidateSet& set,
+                                   const StatsCatalog& stats);
+
+/// A restored snapshot: per-query sealed caches, serving-ready (feed
+/// `sealed` straight to a WorkloadCostEvaluator), with the query names
+/// they were built from (parallel vectors) for attribution.
+struct WorkloadSnapshot {
+  std::vector<std::string> query_names;
+  std::vector<SealedCache> sealed;
+};
+
+/// Writes `sealed` (named by the parallel `query_names`) and `epoch` to
+/// `path` as one self-contained snapshot file. The bytes are fully
+/// serialized first, written to `path + ".tmp"`, and renamed into place
+/// only on success, so a failed write (kInternal) never destroys a
+/// previously good snapshot at `path`; on success any existing file is
+/// replaced.
+Status SaveSnapshot(const std::string& path,
+                    const std::vector<std::string>& query_names,
+                    const std::vector<SealedCache>& sealed,
+                    const SnapshotEpoch& epoch);
+
+/// Reads a snapshot back, validating magic, byte order, version, length,
+/// checksum, structural invariants, and finally that the stored epoch
+/// equals `expected` (compute it from the live universe and stats with
+/// ComputeSnapshotEpoch). On success the returned caches answer every
+/// cost question bit-identically to the caches that were saved.
+StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
+                                        const SnapshotEpoch& expected);
+
+/// Header-and-epoch-only read: what a snapshot claims to be sealed
+/// under, without decoding the caches. Fails on the same magic / byte
+/// order / truncation / version / checksum paths as LoadSnapshot, but
+/// never with kFailedPrecondition — inspection tools use this to say
+/// *why* a snapshot is stale.
+StatusOr<SnapshotEpoch> ReadSnapshotEpoch(const std::string& path);
+
+}  // namespace pinum
+
+#endif  // PINUM_INUM_SNAPSHOT_H_

@@ -57,6 +57,11 @@ class StatsCatalog {
     return it == stats_.end() ? nullptr : &it->second;
   }
 
+  /// Every table's statistics, keyed by table id — iteration order is
+  /// deterministic (ascending table id), which snapshot epoch
+  /// fingerprinting relies on.
+  const std::map<TableId, TableStats>& all() const { return stats_; }
+
   /// Convenience: stats for one column; nullptr when absent.
   const ColumnStats* FindColumn(ColumnRef col) const {
     const TableStats* t = Find(col.table);

@@ -97,4 +97,27 @@ StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
   return result;
 }
 
+Status WorkloadCacheBuilder::SaveSnapshot(const std::string& path,
+                                          const WorkloadCacheResult& result,
+                                          const std::vector<Query>& queries)
+    const {
+  if (result.sealed.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "snapshot save: result.sealed and queries are not parallel (" +
+        std::to_string(result.sealed.size()) + " caches, " +
+        std::to_string(queries.size()) + " queries)");
+  }
+  std::vector<std::string> names;
+  names.reserve(queries.size());
+  for (const Query& q : queries) names.push_back(q.name);
+  return pinum::SaveSnapshot(path, names, result.sealed,
+                             ComputeSnapshotEpoch(*candidates_, *stats_));
+}
+
+StatusOr<WorkloadSnapshot> WorkloadCacheBuilder::LoadSnapshot(
+    const std::string& path) const {
+  return pinum::LoadSnapshot(path,
+                             ComputeSnapshotEpoch(*candidates_, *stats_));
+}
+
 }  // namespace pinum

@@ -10,11 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "common/thread_pool.h"
 #include "inum/access_cost_store.h"
 #include "inum/cache.h"
 #include "inum/inum_builder.h"
 #include "inum/sealed_cache.h"
+#include "inum/snapshot.h"
 #include "pinum/pinum_builder.h"
 #include "query/query.h"
 #include "whatif/candidate_set.h"
@@ -106,6 +109,28 @@ class WorkloadCacheBuilder {
   /// correspond to queries[i]; the first per-query build error aborts the
   /// batch.
   StatusOr<WorkloadCacheResult> BuildAll(const std::vector<Query>& queries);
+
+  /// Persists a build's sealed caches to `path` as one versioned
+  /// snapshot file (format: docs/SNAPSHOT_FORMAT.md), stamped with the
+  /// epoch fingerprint of this builder's bound (catalog, candidate
+  /// universe, statistics). `result.sealed` must be parallel to
+  /// `queries` — pass BuildAll's inputs and output unchanged.
+  Status SaveSnapshot(const std::string& path,
+                      const WorkloadCacheResult& result,
+                      const std::vector<Query>& queries) const;
+
+  /// Restores a snapshot into serving-ready sealed caches without any
+  /// optimizer call — the restart path. The snapshot's stored epoch must
+  /// match this builder's bound (catalog, candidates, stats) exactly;
+  /// a snapshot sealed under a different schema, universe, or statistics
+  /// is rejected with kFailedPrecondition (see inum/snapshot.h for the
+  /// full failure-code taxonomy). The restored caches answer every
+  /// cost question bit-identically to the caches that were saved.
+  /// The epoch deliberately does not bind the query set (any workload
+  /// over the same universe may snapshot); callers serving a specific
+  /// workload should verify the returned query_names match it, as
+  /// advisor_tool --load does.
+  StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path) const;
 
   /// The builder's pool — reusable for batched configuration pricing.
   ThreadPool* pool() { return &pool_; }

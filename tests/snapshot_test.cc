@@ -1,0 +1,390 @@
+// Snapshot persistence: a save→load round trip must hand back caches
+// that answer every cost question bit-identically to the sealed
+// originals (infinity sentinels included), and every failure path —
+// missing file, truncation, bad magic, future format version, payload
+// corruption, epoch mismatch — must return its own distinct Status
+// instead of crashing or serving wrong costs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "advisor/candidate_generator.h"
+#include "advisor/greedy_advisor.h"
+#include "common/rng.h"
+#include "inum/snapshot.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
+#include "workload/star_schema.h"
+
+namespace pinum {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// The paper's star-schema workload (capped at 5-way joins, like the
+/// sealed-cache suite: larger joins add minutes under sanitizers but no
+/// new slot shapes), its candidate universe, one PINUM build, and a
+/// snapshot of it on disk — shared across the suite because the build is
+/// the expensive part.
+class SnapshotTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    StarSchemaWorkload workload;
+    CandidateSet set;
+    /// Pointer because the builder (with its thread pool) is neither
+    /// copyable nor movable.
+    std::unique_ptr<WorkloadCacheBuilder> builder;
+    WorkloadCacheResult built;
+    std::string path;
+
+    WorkloadCacheBuilder& Builder() { return *builder; }
+  };
+  static Fixture* fix_;
+
+  static void SetUpTestSuite() {
+    StarSchemaSpec spec;
+    spec.query_sizes = {2, 3, 3, 4, 4, 5};
+    auto w = StarSchemaWorkload::Create(spec);
+    ASSERT_TRUE(w.ok());
+    CandidateOptions copt;
+    auto cands = GenerateCandidates(w->queries(), w->db().catalog(),
+                                    w->db().stats(), copt);
+    auto set = MakeCandidateSet(w->db().catalog(), cands);
+    ASSERT_TRUE(set.ok());
+    fix_ = new Fixture{std::move(*w),
+                       std::move(*set),
+                       nullptr,
+                       {},
+                       ::testing::TempDir() + "pinum_snapshot_test.snap"};
+    fix_->builder = std::make_unique<WorkloadCacheBuilder>(
+        &fix_->workload.db().catalog(), &fix_->set,
+        &fix_->workload.db().stats());
+    auto built = fix_->builder->BuildAll(fix_->workload.queries());
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    fix_->built = std::move(*built);
+    Status st = fix_->builder->SaveSnapshot(fix_->path, fix_->built,
+                                            fix_->workload.queries());
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  static void TearDownTestSuite() {
+    std::remove(fix_->path.c_str());
+    delete fix_;
+    fix_ = nullptr;
+  }
+
+  /// A pristine copy of the snapshot bytes for patch-and-reject tests.
+  static std::string SnapshotBytes() { return ReadFile(fix_->path); }
+
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + name;
+  }
+};
+
+SnapshotTest::Fixture* SnapshotTest::fix_ = nullptr;
+
+TEST_F(SnapshotTest, RoundTripCostBitIdentical) {
+  auto loaded = fix_->builder->LoadSnapshot(fix_->path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::vector<Query>& queries = fix_->workload.queries();
+  ASSERT_EQ(loaded->sealed.size(), queries.size());
+  ASSERT_EQ(loaded->query_names.size(), queries.size());
+  const IndexId universe = fix_->set.NumIndexIds();
+
+  Rng rng(211);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_EQ(loaded->query_names[qi], queries[qi].name);
+    const SealedCache& original = fix_->built.sealed[qi];
+    const SealedCache& restored = loaded->sealed[qi];
+    // Structure round-trips exactly, derived posting ids included.
+    EXPECT_EQ(restored.NumPlans(), original.NumPlans());
+    EXPECT_EQ(restored.NumPlansPruned(), original.NumPlansPruned());
+    EXPECT_EQ(restored.NumTerms(), original.NumTerms());
+    EXPECT_EQ(restored.NumPostings(), original.NumPostings());
+    EXPECT_EQ(restored.PostingBearingIds(), original.PostingBearingIds());
+
+    // Costs round-trip bitwise — including the empty configuration,
+    // duplicate ids, ids outside the universe, and configurations whose
+    // terms stay at the kInfiniteCost sentinel.
+    EXPECT_EQ(restored.Cost({}), original.Cost({})) << "query " << qi;
+    for (int trial = 0; trial < 20; ++trial) {
+      IndexConfig config =
+          RandomAtomicConfig(queries[qi], fix_->set, &rng);
+      if (!config.empty() && rng.Chance(0.5)) {
+        config.push_back(config[rng.Index(config.size())]);
+      }
+      if (rng.Chance(0.5)) config.push_back(universe + 100);
+      if (rng.Chance(0.5)) config.push_back(kInvalidIndexId);
+      EXPECT_EQ(restored.Cost(config), original.Cost(config))
+          << "query " << qi << " trial " << trial;
+    }
+
+    // The delta path serves from restored postings bit-identically too.
+    SealedCache::CostContext restored_ctx;
+    SealedCache::CostContext original_ctx;
+    const IndexConfig base =
+        RandomAtomicConfig(queries[qi], fix_->set, &rng);
+    restored.PrepareContext(base, &restored_ctx);
+    original.PrepareContext(base, &original_ctx);
+    EXPECT_EQ(restored_ctx.base_cost(), original_ctx.base_cost());
+    for (IndexId extra : fix_->set.candidate_ids) {
+      EXPECT_EQ(restored.CostWithExtra(&restored_ctx, extra),
+                original.CostWithExtra(&original_ctx, extra))
+          << "query " << qi << " extra " << extra;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, AdvisorOutputBitIdenticalFromRestoredCaches) {
+  // The acceptance property behind `advisor_tool --load`: the greedy
+  // advisor over restored caches must return the fresh build's result
+  // field for field, cost bits included.
+  auto loaded = fix_->builder->LoadSnapshot(fix_->path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  AdvisorOptions opts;
+  const AdvisorResult fresh =
+      RunGreedyAdvisor(fix_->built.sealed, fix_->set, opts);
+  const AdvisorResult restored =
+      RunGreedyAdvisor(loaded->sealed, fix_->set, opts);
+  ExpectSameAdvisorResult(fresh, restored);
+  EXPECT_FALSE(fresh.chosen.empty());
+}
+
+TEST_F(SnapshotTest, ReadSnapshotEpochMatchesLiveEpoch) {
+  auto stored = ReadSnapshotEpoch(fix_->path);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  const SnapshotEpoch live = ComputeSnapshotEpoch(
+      fix_->set, fix_->workload.db().stats());
+  EXPECT_TRUE(*stored == live);
+  EXPECT_EQ(stored->universe, fix_->set.NumIndexIds());
+  EXPECT_EQ(stored->candidate_ids, fix_->set.candidate_ids);
+}
+
+TEST_F(SnapshotTest, MissingFileIsNotFound) {
+  auto loaded = fix_->builder->LoadSnapshot(TempPath("no_such.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, TruncationIsOutOfRange) {
+  const std::string bytes = SnapshotBytes();
+  const std::string path = TempPath("truncated.snap");
+  // Every truncation point — inside the header, inside the section
+  // table, mid-payload, one byte short — must report kOutOfRange with
+  // no crash (ASan-clean), never garbage costs.
+  for (size_t keep :
+       {size_t{0}, size_t{4}, size_t{12}, size_t{39}, size_t{96},
+        bytes.size() / 2, bytes.size() - 1}) {
+    WriteFile(path, bytes.substr(0, keep));
+    auto loaded = fix_->builder->LoadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange)
+        << "kept " << keep << " bytes: " << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, BadMagicIsInvalidArgument) {
+  std::string bytes = SnapshotBytes();
+  bytes[0] = 'X';
+  const std::string path = TempPath("bad_magic.snap");
+  WriteFile(path, bytes);
+  auto loaded = fix_->builder->LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, FutureFormatVersionIsUnimplemented) {
+  std::string bytes = SnapshotBytes();
+  // The format version lives at byte 12 (docs/SNAPSHOT_FORMAT.md) and is
+  // deliberately outside the checksummed region, so a newer writer's
+  // file fails on the version, not on a checksum it may compute
+  // differently.
+  const uint32_t future = kSnapshotFormatVersion + 1;
+  std::memcpy(bytes.data() + 12, &future, sizeof(future));
+  const std::string path = TempPath("future.snap");
+  WriteFile(path, bytes);
+  auto loaded = fix_->builder->LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnimplemented);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, PayloadCorruptionIsInternal) {
+  const std::string pristine = SnapshotBytes();
+  const std::string path = TempPath("corrupt.snap");
+  // Any flipped payload bit — section table, epoch, costs, postings —
+  // trips the checksum before the bytes are believed.
+  for (size_t at : {size_t{40}, size_t{64}, pristine.size() / 2,
+                    pristine.size() - 1}) {
+    std::string bytes = pristine;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x40);
+    WriteFile(path, bytes);
+    auto loaded = fix_->builder->LoadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << at;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInternal)
+        << "flip at " << at << ": " << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, StatsEpochMismatchIsFailedPrecondition) {
+  // The same snapshot against a world whose statistics drifted (one
+  // table re-ANALYZEd to a different row count) must be rejected loudly:
+  // its cached costs were derived from the old stats.
+  StatsCatalog drifted;
+  for (const auto& [table, stats] : fix_->workload.db().stats().all()) {
+    TableStats copy = stats;
+    if (table == fix_->workload.fact_table()) {
+      copy.row_count += 1;
+    }
+    drifted.Put(table, std::move(copy));
+  }
+  auto loaded = LoadSnapshot(
+      fix_->path, ComputeSnapshotEpoch(fix_->set, drifted));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("statistics"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, CatalogEpochMismatchIsFailedPrecondition) {
+  // A universe with one more candidate index is a different id
+  // vocabulary: the sealed vectors' subscripts no longer mean the same
+  // indexes, so the snapshot must not load.
+  const Catalog& base = fix_->workload.db().catalog();
+  std::vector<IndexDef> candidates;
+  for (IndexId id : fix_->set.candidate_ids) {
+    candidates.push_back(*fix_->set.universe.FindIndex(id));
+  }
+  IndexDef extra;
+  extra.name = "snapshot_test_extra";
+  extra.table = fix_->workload.fact_table();
+  extra.key_columns = {0};
+  candidates.push_back(extra);
+  auto grown = MakeCandidateSet(base, candidates);
+  ASSERT_TRUE(grown.ok());
+  auto loaded = LoadSnapshot(
+      fix_->path, ComputeSnapshotEpoch(*grown, fix_->workload.db().stats()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotTest, CandidateVocabularyDriftIsFailedPrecondition) {
+  // Same universe size, same candidate count, different id assignment
+  // (candidates regenerated in another order): the generic "N ids vs M
+  // ids" message would read identically on both sides, so this path
+  // must say the vocabulary itself changed.
+  SnapshotEpoch permuted =
+      ComputeSnapshotEpoch(fix_->set, fix_->workload.db().stats());
+  ASSERT_GE(permuted.candidate_ids.size(), 2u);
+  std::swap(permuted.candidate_ids[0], permuted.candidate_ids[1]);
+  auto loaded = LoadSnapshot(fix_->path, permuted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("vocabulary"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, CraftedHugeCountIsRejectedWithoutAllocating) {
+  // A crafted file can carry a valid checksum (FNV-1a is unkeyed), so
+  // count fields must be bounded by the bytes actually present before
+  // anything is allocated: a 0xFFFFFFFF query count must come back as
+  // corruption, not as a multi-gigabyte reserve / bad_alloc.
+  std::string bytes = SnapshotBytes();
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 16, 4);
+  uint64_t queries_offset = 0;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = bytes.data() + 40 + i * 24;
+    uint32_t tag = 0;
+    std::memcpy(&tag, entry, 4);
+    if (tag == 2) std::memcpy(&queries_offset, entry + 8, 8);
+  }
+  ASSERT_NE(queries_offset, 0u);
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + queries_offset, &huge, 4);
+  // Recompute the payload checksum (spec: FNV-1a over [40, EOF)) so the
+  // crafted count is what the reader actually trips on.
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 40; i < bytes.size(); ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= 1099511628211ULL;
+  }
+  std::memcpy(bytes.data() + 32, &h, 8);
+  const std::string path = TempPath("crafted.snap");
+  WriteFile(path, bytes);
+  auto loaded = fix_->builder->LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, IndexSizeDriftIsFailedPrecondition) {
+  // Same tables, same candidate key columns, but one candidate's size
+  // estimate changed (stats drift reflected into the what-if sizer):
+  // the advisor prices bytes from IndexDef sizes, so this is an epoch
+  // change even though the id vocabulary is identical.
+  CandidateSet resized = fix_->set;
+  IndexDef* def = resized.universe.MutableIndex(resized.candidate_ids[0]);
+  ASSERT_NE(def, nullptr);
+  def->leaf_pages += 1;
+  auto loaded = LoadSnapshot(
+      fix_->path, ComputeSnapshotEpoch(resized, fix_->workload.db().stats()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("schema"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SnapshotUnitTest, EmptyWorkloadRoundTrips) {
+  // Zero queries is a valid (if degenerate) snapshot: the framing,
+  // epoch, and empty sections must round-trip.
+  const std::string path = ::testing::TempDir() + "empty.snap";
+  SnapshotEpoch epoch;
+  epoch.schema_hash = 7;
+  epoch.stats_hash = 9;
+  Status st = SaveSnapshot(path, {}, {}, epoch);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto loaded = LoadSnapshot(path, epoch);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->sealed.empty());
+  EXPECT_TRUE(loaded->query_names.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotUnitTest, DefaultSealedCacheRoundTrips) {
+  // A default-constructed SealedCache (universe 0, no plans) is what an
+  // unbuildable query would pin; it must survive the trip too.
+  const std::string path = ::testing::TempDir() + "default.snap";
+  std::vector<SealedCache> caches(2);
+  Status st = SaveSnapshot(path, {"a", "b"}, caches, SnapshotEpoch{});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto loaded = LoadSnapshot(path, SnapshotEpoch{});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->sealed.size(), 2u);
+  EXPECT_EQ(loaded->sealed[0].Cost({}), kInfiniteCost);
+  EXPECT_EQ(loaded->sealed[0].Cost({1, 2}), kInfiniteCost);
+  EXPECT_EQ(loaded->query_names, (std::vector<std::string>{"a", "b"}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pinum

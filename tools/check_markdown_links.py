@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in this repo resolve.
+
+Scans every tracked .md file for inline links/images `[text](target)`,
+skips absolute URLs (http/https/mailto), and verifies that each relative
+target exists on disk; same-file `#anchor` targets are checked against
+the file's headings (GitHub slug rules, simplified). Exits 1 listing
+every broken link, so README/ROADMAP/docs cross-references cannot rot.
+
+Usage: tools/check_markdown_links.py [root]  (default: repo root)
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "build", "build-asan", "build-scalar", ".claude"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (simplified: ASCII-ish headings)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        return {slugify(h) for h in HEADING_RE.findall(f.read())}
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    broken = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        rel = os.path.relpath(path, root)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            file_part, _, anchor = target.partition("#")
+            dest = path if not file_part else os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(dest):
+                broken.append(f"{rel}: ({target}) -> missing file {file_part}")
+                continue
+            if anchor and dest.endswith(".md"):
+                if slugify(anchor) not in anchors_of(dest):
+                    broken.append(f"{rel}: ({target}) -> missing anchor "
+                                  f"#{anchor}")
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
