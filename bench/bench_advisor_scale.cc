@@ -61,23 +61,16 @@ bool SameResult(const AdvisorResult& a, const AdvisorResult& b,
 
 int Run(int replicas, bool smoke, const std::string& json_path,
         double min_speedup) {
-  StarSchemaWorkload w = bench::MakePaperWorkload();
-  CandidateSet set = bench::MakeCandidates(w);
-  const std::vector<Query> queries =
-      bench::ReplicateQueries(w.queries(), replicas);
+  auto setup = bench::MakeServingSetup(replicas);
+  if (setup == nullptr) return 1;
+  CandidateSet& set = setup->set;
+  const std::vector<Query>& queries = setup->queries;
+  WorkloadCacheBuilder& builder = *setup->builder;
+  WorkloadCacheResult* built = &setup->built;
   std::printf("# advisor scale: %zu queries (%dx replication), "
               "%zu candidates, SIMD backend %s\n",
               queries.size(), replicas, set.candidate_ids.size(),
               simd::BackendName());
-
-  WorkloadCacheOptions opts;
-  WorkloadCacheBuilder builder(&w.db().catalog(), &set, &w.db().stats(),
-                               opts);
-  auto built = builder.BuildAll(queries);
-  if (!built.ok()) {
-    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
-    return 1;
-  }
   std::printf("# build %.1f ms (seal %.1f ms); %zu plans, %zu terms, "
               "%zu postings over %lld universe ids\n",
               built->totals.wall_ms, built->totals.seal_ms,

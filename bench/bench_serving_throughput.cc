@@ -28,22 +28,15 @@ namespace pinum {
 namespace {
 
 int Run(int replicas, bool smoke, const std::string& json_path) {
-  StarSchemaWorkload w = bench::MakePaperWorkload();
-  CandidateSet set = bench::MakeCandidates(w);
-  const std::vector<Query> queries =
-      bench::ReplicateQueries(w.queries(), replicas);
+  auto setup = bench::MakeServingSetup(replicas);
+  if (setup == nullptr) return 1;
+  CandidateSet& set = setup->set;
+  const std::vector<Query>& queries = setup->queries;
+  WorkloadCacheBuilder& builder = *setup->builder;
+  WorkloadCacheResult* built = &setup->built;
   std::printf("# serving throughput: %zu queries (%dx replication), "
               "%zu candidates\n",
               queries.size(), replicas, set.candidate_ids.size());
-
-  WorkloadCacheOptions opts;
-  WorkloadCacheBuilder builder(&w.db().catalog(), &set, &w.db().stats(),
-                               opts);
-  auto built = builder.BuildAll(queries);
-  if (!built.ok()) {
-    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
-    return 1;
-  }
   const double pruned_pct =
       built->totals.plans_cached == 0
           ? 0.0

@@ -30,23 +30,18 @@ namespace {
 
 int Run(int replicas, bool smoke, const std::string& json_path,
         double min_speedup) {
-  StarSchemaWorkload w = bench::MakePaperWorkload();
-  CandidateSet set = bench::MakeCandidates(w);
-  const std::vector<Query> queries =
-      bench::ReplicateQueries(w.queries(), replicas);
+  // Cold path: what every advisor session pays without persistence
+  // (the shared serving preamble times the build).
+  auto setup = bench::MakeServingSetup(replicas);
+  if (setup == nullptr) return 1;
+  CandidateSet& set = setup->set;
+  const std::vector<Query>& queries = setup->queries;
+  WorkloadCacheBuilder& builder = *setup->builder;
+  WorkloadCacheResult* built = &setup->built;
   std::printf("# snapshot restart: %zu queries (%dx replication), "
               "%zu candidates\n",
               queries.size(), replicas, set.candidate_ids.size());
-
-  // Cold path: what every advisor session pays without persistence.
-  WorkloadCacheBuilder builder(&w.db().catalog(), &set, &w.db().stats());
-  Stopwatch build_timer;
-  auto built = builder.BuildAll(queries);
-  if (!built.ok()) {
-    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
-    return 1;
-  }
-  const double build_ms = build_timer.ElapsedMillis();
+  const double build_ms = setup->build_ms;
   const int64_t optimizer_calls =
       built->totals.plan_cache_calls + built->totals.access_cost_calls;
 

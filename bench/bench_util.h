@@ -10,14 +10,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "advisor/candidate_generator.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "inum/access_cost_table.h"
 #include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
 #include "workload/star_schema.h"
 
 namespace pinum {
@@ -124,6 +127,43 @@ inline std::vector<Query> ReplicateQueries(const std::vector<Query>& queries,
     }
   }
   return out;
+}
+
+/// The serving benches' common preamble — paper workload, candidate
+/// universe, `replicas`-fold replicated queries, and one timed build
+/// through a WorkloadCacheBuilder — previously hand-rolled per bench.
+/// Heap-allocated so the builder's pointers into workload/set stay
+/// stable for the setup's lifetime.
+struct ServingSetup {
+  StarSchemaWorkload workload;
+  CandidateSet set;
+  std::vector<Query> queries;
+  std::unique_ptr<WorkloadCacheBuilder> builder;
+  WorkloadCacheResult built;
+  /// Wall time of the cold BuildAll (what a restart would re-pay).
+  double build_ms = 0;
+};
+
+/// Builds the full serving preamble; nullptr (with the error on stderr)
+/// when the build fails.
+inline std::unique_ptr<ServingSetup> MakeServingSetup(
+    int replicas, WorkloadCacheOptions opts = {}) {
+  auto setup = std::unique_ptr<ServingSetup>(new ServingSetup{
+      MakePaperWorkload(), CandidateSet{}, {}, nullptr, {}, 0});
+  setup->set = MakeCandidates(setup->workload);
+  setup->queries = ReplicateQueries(setup->workload.queries(), replicas);
+  setup->builder = std::make_unique<WorkloadCacheBuilder>(
+      &setup->workload.db().catalog(), &setup->set,
+      &setup->workload.db().stats(), opts);
+  Stopwatch build_timer;
+  auto built = setup->builder->BuildAll(setup->queries);
+  setup->build_ms = build_timer.ElapsedMillis();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return nullptr;
+  }
+  setup->built = std::move(*built);
+  return setup;
 }
 
 /// Random atomic configuration over the candidates relevant to `q`

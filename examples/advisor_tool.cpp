@@ -7,9 +7,15 @@
 // With --save the sealed caches are persisted to a versioned snapshot
 // file (docs/SNAPSHOT_FORMAT.md); with --load the build step is skipped
 // entirely — no optimizer call is made — and the advisor serves from the
-// restored caches, with bit-identical suggestions.
+// restored caches, with bit-identical suggestions. With --reseal K the
+// tool additionally simulates statistics drift staling ~K queries
+// (seeded, src/workload/drift.h) and repairs the serving state through
+// WorkloadCacheBuilder::RebuildQueries — k queries' worth of optimizer
+// calls instead of a whole-workload rebuild — before advising; combined
+// with --save, the re-save patches only the resealed cache records.
 //
 //   $ ./advisor_tool [budget_mb] [--save FILE | --load FILE]
+//                    [--reseal K]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +26,7 @@
 #include "common/stopwatch.h"
 #include "whatif/candidate_set.h"
 #include "workload/cache_manager.h"
+#include "workload/drift.h"
 #include "workload/star_schema.h"
 
 using namespace pinum;
@@ -28,6 +35,7 @@ int main(int argc, char** argv) {
   AdvisorOptions aopts;
   std::string save_path;
   std::string load_path;
+  long long reseal_target = -1;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--save") == 0 ||
         std::strcmp(argv[a], "--load") == 0) {
@@ -37,10 +45,16 @@ int main(int argc, char** argv) {
       }
       const bool is_save = std::strcmp(argv[a], "--save") == 0;
       (is_save ? save_path : load_path) = argv[++a];
+    } else if (std::strcmp(argv[a], "--reseal") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--reseal requires a stale-query target\n");
+        return 2;
+      }
+      reseal_target = std::atoll(argv[++a]);
     } else if (std::strncmp(argv[a], "--", 2) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: advisor_tool [budget_mb] "
-                   "[--save FILE | --load FILE]\n",
+                   "[--save FILE | --load FILE] [--reseal K]\n",
                    argv[a]);
       return 2;
     } else {
@@ -49,6 +63,10 @@ int main(int argc, char** argv) {
   }
   if (!save_path.empty() && !load_path.empty()) {
     std::fprintf(stderr, "--save and --load are mutually exclusive\n");
+    return 2;
+  }
+  if (reseal_target >= 0 && !load_path.empty()) {
+    std::fprintf(stderr, "--reseal needs a fresh build (not --load)\n");
     return 2;
   }
 
@@ -97,10 +115,40 @@ int main(int argc, char** argv) {
                    queries.size());
       return 1;
     }
+    // Per-query epoch stamps: a snapshot that predates stats drift or
+    // append-only universe growth still loads — repair exactly the
+    // stale queries instead of rebuilding the workload. (This tool
+    // regenerates the same world every run, so the set is normally
+    // empty; it is the production restart path nonetheless.)
+    const std::vector<size_t> stale =
+        builder.StaleQueries(*snapshot, queries);
+    if (!stale.empty()) {
+      std::vector<std::string> stale_names;
+      for (size_t i : stale) stale_names.push_back(queries[i].name);
+      WorkloadCacheResult restored;
+      restored.caches.resize(queries.size());
+      restored.per_query.resize(queries.size());
+      restored.stamps = snapshot->query_stamps;
+      restored.sealed = std::move(snapshot->sealed);
+      WorkloadCacheStats totals;
+      Status st = builder.RebuildQueries(stale_names, queries, &restored,
+                                         &totals);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("snapshot was stale for %zu of %zu queries; resealed "
+                  "them with %lld optimizer calls\n",
+                  stale.size(), queries.size(),
+                  static_cast<long long>(totals.plan_cache_calls +
+                                         totals.access_cost_calls));
+      snapshot->sealed = std::move(restored.sealed);
+    }
     std::printf("snapshot restored: %zu sealed caches from %s in %.1f ms "
-                "(0 optimizer calls)\n",
+                "(%zu stale, %s)\n",
                 snapshot->sealed.size(), load_path.c_str(),
-                load_timer.ElapsedMillis());
+                load_timer.ElapsedMillis(), stale.size(),
+                stale.empty() ? "0 optimizer calls" : "resealed above");
     serving = std::move(snapshot->sealed);
   } else {
     // One PINUM cache per query — a handful of optimizer calls each
@@ -131,6 +179,8 @@ int main(int argc, char** argv) {
                 built->totals.plans_pruned, built->totals.plans_cached,
                 built->totals.terms, built->totals.postings,
                 built->totals.seal_ms);
+    const int64_t full_build_calls =
+        built->totals.plan_cache_calls + built->totals.access_cost_calls;
     if (!save_path.empty()) {
       Stopwatch save_timer;
       Status st =
@@ -142,6 +192,52 @@ int main(int argc, char** argv) {
       std::printf("snapshot saved to %s in %.1f ms "
                   "(reload with --load to skip the build)\n",
                   save_path.c_str(), save_timer.ElapsedMillis());
+    }
+
+    // Incremental reseal demo: drift the statistics under the serving
+    // layer (seeded) and repair only the stale queries in place —
+    // the maintenance path a long-lived what-if service runs on every
+    // re-ANALYZE instead of a full rebuild.
+    if (reseal_target >= 0) {
+      auto drift =
+          ApplyDrift(workload->queries(), &*set, &db.stats(),
+                     static_cast<size_t>(reseal_target), /*seed=*/1);
+      if (!drift.ok()) {
+        std::fprintf(stderr, "%s\n", drift.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("\nsimulated stats drift on %zu tables -> %zu of %zu "
+                  "queries stale\n",
+                  drift->drifted_tables.size(), drift->stale_queries.size(),
+                  workload->queries().size());
+      WorkloadCacheStats reseal_totals;
+      Stopwatch reseal_timer;
+      Status st = builder.RebuildQueries(drift->stale_queries,
+                                         workload->queries(), &*built,
+                                         &reseal_totals);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("incremental reseal: %lld optimizer calls, %.1f ms "
+                  "(a full rebuild would re-pay %lld calls)\n",
+                  static_cast<long long>(reseal_totals.plan_cache_calls +
+                                         reseal_totals.access_cost_calls),
+                  reseal_timer.ElapsedMillis(),
+                  static_cast<long long>(full_build_calls));
+      if (!save_path.empty()) {
+        SnapshotSaveStats save_stats;
+        Status resave = builder.SaveSnapshot(save_path, *built,
+                                             workload->queries(),
+                                             &save_stats);
+        if (!resave.ok()) {
+          std::fprintf(stderr, "%s\n", resave.ToString().c_str());
+          return 1;
+        }
+        std::printf("snapshot patched in place: %zu cache records "
+                    "re-encoded, %zu reused verbatim\n",
+                    save_stats.caches_encoded, save_stats.caches_patched);
+      }
     }
     serving = std::move(built->sealed);
   }

@@ -101,6 +101,30 @@ bool SharedAccessCostStore::LookupFallback(const std::string& signature,
   return true;
 }
 
+size_t SharedAccessCostStore::InvalidateTables(
+    const std::vector<TableId>& tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = [&](const TableAccessInfo& info) {
+    return std::find(tables.begin(), tables.end(), info.table) !=
+           tables.end();
+  };
+  size_t erased = 0;
+  auto sweep = [&](auto* map) {
+    for (auto it = map->begin(); it != map->end();) {
+      if (hit(it->second)) {
+        it = map->erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep(&by_table_);
+  sweep(&by_candidate_);
+  sweep(&fallback_);
+  return erased;
+}
+
 int64_t SharedAccessCostStore::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;

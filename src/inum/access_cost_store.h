@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "catalog/types.h"
 #include "optimizer/scan_builder.h"
@@ -71,6 +72,16 @@ class SharedAccessCostStore {
   /// entries only cover the candidate's own table).
   void StoreFallback(const std::string& signature,
                      const TableAccessInfo& info);
+
+  /// Drops every stored answer (all three tiers) whose table is in
+  /// `tables`, returning how many entries were erased. The incremental
+  /// reseal path calls this with exactly the tables whose statistics /
+  /// schema / index slice drifted, so answers for unchanged tables keep
+  /// serving later rebuilds — the "still-valid cross-query shared
+  /// access costs" half of the reseal contract. Entries for unchanged
+  /// tables are exactly the ones whose values a fresh optimizer call
+  /// would reproduce, so keeping them never changes rebuilt caches.
+  size_t InvalidateTables(const std::vector<TableId>& tables);
 
   int64_t hits() const;
   int64_t misses() const;

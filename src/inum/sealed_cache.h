@@ -161,6 +161,12 @@ class SealedCache {
   /// where the index can lower the term below its base cost. The delta
   /// path's per-extra work is its share of these, not NumTerms().
   size_t NumPostings() const { return posting_terms_.size(); }
+  /// One past the largest IndexId this seal covers. Ids at or beyond it
+  /// price as absent (their base cost) — which is also bit-identical to
+  /// what a wider reseal computes for an id whose access costs this
+  /// cache never saw, the property that lets a sealed cache keep serving
+  /// unreseal'd after append-only universe growth (incremental reseal).
+  size_t UniverseSize() const { return universe_; }
 
  private:
   /// The persistence layer (src/inum/snapshot.cc) serializes and

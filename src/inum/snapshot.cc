@@ -4,10 +4,12 @@
 // be recorded in the spec's version history.
 #include "inum/snapshot.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <type_traits>
 #include <utility>
 
@@ -139,6 +141,9 @@ class ByteReader {
   /// Bytes left in the section — the bound every count read from the
   /// file must be validated against *before* any allocation.
   size_t Remaining() const { return size_ - pos_; }
+  /// Current offset into the section: lets length-prefixed sub-records
+  /// (the caches section's per-record slices) be framed exactly.
+  size_t Position() const { return pos_; }
 
  private:
   const char* data_;
@@ -285,19 +290,54 @@ namespace {
 
 // ---- Epoch fingerprints -------------------------------------------------
 
-uint64_t SchemaFingerprint(const CandidateSet& set) {
+/// Index definitions include the size statistics (leaf/total pages,
+/// height): the advisor prices index bytes from them, so a size drift
+/// is an epoch change even when key columns are unchanged.
+void FoldIndexDef(Fingerprint* fp, IndexId id, const IndexDef& index) {
+  fp->I64(id);
+  fp->Str(index.name);
+  fp->I64(index.table);
+  fp->U64(index.key_columns.size());
+  for (ColumnIdx c : index.key_columns) fp->I64(c);
+  fp->I64(index.hypothetical ? 1 : 0);
+  fp->I64(index.leaf_pages);
+  fp->I64(index.total_pages);
+  fp->I64(index.height);
+}
+
+void FoldTableDef(Fingerprint* fp, TableId id, const TableDef& table) {
+  fp->I64(id);
+  fp->Str(table.name);
+  fp->U64(table.columns.size());
+  for (const ColumnDef& col : table.columns) {
+    fp->Str(col.name);
+    fp->I64(static_cast<int64_t>(col.type));
+  }
+}
+
+void FoldTableStats(Fingerprint* fp, const TableStats& ts) {
+  fp->F64(ts.row_count);
+  fp->F64(ts.heap_pages);
+  fp->U64(ts.columns.size());
+  for (const ColumnStats& cs : ts.columns) {
+    fp->F64(cs.n_distinct);
+    fp->I64(cs.min);
+    fp->I64(cs.max);
+    fp->F64(cs.correlation);
+    fp->U64(cs.histogram.bounds().size());
+    for (Value b : cs.histogram.bounds()) fp->I64(b);
+  }
+}
+
+/// The candidate-free part of the world: tables, foreign keys, and the
+/// base (real) index definitions candidates are layered onto. Candidate
+/// definitions are covered by the prefix chain instead, so an append
+/// does not change this hash.
+uint64_t BaseSchemaFingerprint(const CandidateSet& set) {
   Fingerprint fp;
   const Catalog& cat = set.universe;
   fp.U64(cat.tables().size());
-  for (const auto& [id, table] : cat.tables()) {
-    fp.I64(id);
-    fp.Str(table.name);
-    fp.U64(table.columns.size());
-    for (const ColumnDef& col : table.columns) {
-      fp.Str(col.name);
-      fp.I64(static_cast<int64_t>(col.type));
-    }
-  }
+  for (const auto& [id, table] : cat.tables()) FoldTableDef(&fp, id, table);
   fp.U64(cat.foreign_keys().size());
   for (const ForeignKey& fk : cat.foreign_keys()) {
     fp.I64(fk.child_table);
@@ -305,41 +345,12 @@ uint64_t SchemaFingerprint(const CandidateSet& set) {
     fp.I64(fk.parent_table);
     fp.I64(fk.parent_column);
   }
-  // Index definitions include the size statistics (leaf/total pages,
-  // height): the advisor prices index bytes from them, so a size drift
-  // is an epoch change even when key columns are unchanged.
-  fp.U64(cat.indexes().size());
-  for (const auto& [id, index] : cat.indexes()) {
-    fp.I64(id);
-    fp.Str(index.name);
-    fp.I64(index.table);
-    fp.U64(index.key_columns.size());
-    for (ColumnIdx c : index.key_columns) fp.I64(c);
-    fp.I64(index.hypothetical ? 1 : 0);
-    fp.I64(index.leaf_pages);
-    fp.I64(index.total_pages);
-    fp.I64(index.height);
-  }
   fp.U64(set.base_index_ids.size());
-  for (IndexId id : set.base_index_ids) fp.I64(id);
-  return fp.hash();
-}
-
-uint64_t StatsFingerprint(const StatsCatalog& stats) {
-  Fingerprint fp;
-  fp.U64(stats.all().size());
-  for (const auto& [table, ts] : stats.all()) {
-    fp.I64(table);
-    fp.F64(ts.row_count);
-    fp.F64(ts.heap_pages);
-    fp.U64(ts.columns.size());
-    for (const ColumnStats& cs : ts.columns) {
-      fp.F64(cs.n_distinct);
-      fp.I64(cs.min);
-      fp.I64(cs.max);
-      fp.F64(cs.correlation);
-      fp.U64(cs.histogram.bounds().size());
-      for (Value b : cs.histogram.bounds()) fp.I64(b);
+  for (IndexId id : set.base_index_ids) {
+    if (const IndexDef* def = cat.FindIndex(id)) {
+      FoldIndexDef(&fp, id, *def);
+    } else {
+      fp.I64(id);
     }
   }
   return fp.hash();
@@ -349,21 +360,22 @@ uint64_t StatsFingerprint(const StatsCatalog& stats) {
 
 ByteWriter EncodeEpochSection(const SnapshotEpoch& epoch) {
   ByteWriter w;
-  w.U64(epoch.schema_hash);
-  w.U64(epoch.stats_hash);
+  w.U64(epoch.base_schema_hash);
   w.I32(epoch.universe);
   w.Vec(epoch.candidate_ids);
+  w.U64(epoch.universe_prefix_hash);
   return w;
 }
 
 Status DecodeEpochSection(const char* data, size_t size,
                           SnapshotEpoch* epoch) {
   ByteReader r(data, size);
-  PINUM_RETURN_IF_ERROR(r.U64(&epoch->schema_hash, "schema hash"));
-  PINUM_RETURN_IF_ERROR(r.U64(&epoch->stats_hash, "stats hash"));
+  PINUM_RETURN_IF_ERROR(r.U64(&epoch->base_schema_hash, "base schema hash"));
   PINUM_RETURN_IF_ERROR(r.I32(&epoch->universe, "universe size"));
   if (epoch->universe < 0) return Corrupt("negative universe size");
   PINUM_RETURN_IF_ERROR(r.Vec(&epoch->candidate_ids, "candidate ids"));
+  PINUM_RETURN_IF_ERROR(
+      r.U64(&epoch->universe_prefix_hash, "universe prefix hash"));
   if (!r.AtEnd()) return Corrupt("trailing bytes in epoch section");
   return Status::OK();
 }
@@ -450,6 +462,18 @@ StatusOr<SnapshotFile> OpenSnapshot(const std::string& path) {
     return Status::Unimplemented(msg);
   }
   if (version == 0) return Corrupt("format version 0");
+  if (version < kSnapshotFormatVersion) {
+    // v1 predates per-query epoch stamps and prefix-compatible
+    // universes; its global epoch cannot say which queries are stale,
+    // so there is nothing safe to reuse. Rebuilding is the v1 load
+    // path's answer to any drift anyway.
+    std::snprintf(msg, sizeof(msg),
+                  "snapshot format version %u predates per-query epoch"
+                  " stamps (oldest supported is %u); rebuild the caches and"
+                  " save a fresh snapshot",
+                  version, kSnapshotFormatVersion);
+    return Status::Unimplemented(msg);
+  }
   if (declared_size > actual_size) {
     std::snprintf(msg, sizeof(msg),
                   "snapshot truncated: file is %zu bytes, header declares"
@@ -508,37 +532,263 @@ std::string HashMismatch(const char* what, uint64_t stored,
 
 }  // namespace
 
-SnapshotEpoch ComputeSnapshotEpoch(const CandidateSet& set,
-                                   const StatsCatalog& stats) {
+std::vector<uint64_t> ComputeUniversePrefixChain(const CandidateSet& set) {
+  std::vector<uint64_t> chain;
+  chain.reserve(set.candidate_ids.size() + 1);
+  Fingerprint fp;
+  chain.push_back(fp.hash());  // the empty prefix
+  for (IndexId id : set.candidate_ids) {
+    if (const IndexDef* def = set.universe.FindIndex(id)) {
+      FoldIndexDef(&fp, id, *def);
+    } else {
+      fp.I64(id);
+    }
+    chain.push_back(fp.hash());
+  }
+  return chain;
+}
+
+SnapshotEpoch ComputeSnapshotEpoch(const CandidateSet& set) {
   SnapshotEpoch epoch;
-  epoch.schema_hash = SchemaFingerprint(set);
-  epoch.stats_hash = StatsFingerprint(stats);
+  epoch.base_schema_hash = BaseSchemaFingerprint(set);
   epoch.universe = set.NumIndexIds();
   epoch.candidate_ids = set.candidate_ids;
+  epoch.prefix_chain = ComputeUniversePrefixChain(set);
+  epoch.universe_prefix_hash = epoch.prefix_chain.back();
   return epoch;
 }
 
+uint64_t ComputeTableEpochFingerprint(TableId table, const CandidateSet& set,
+                                      const StatsCatalog& stats) {
+  Fingerprint fp;
+  const Catalog& cat = set.universe;
+  if (const TableDef* def = cat.FindTable(table)) {
+    FoldTableDef(&fp, table, *def);
+  } else {
+    fp.I64(table);
+  }
+  for (const ForeignKey& fk : cat.foreign_keys()) {
+    if (fk.child_table == table || fk.parent_table == table) {
+      fp.I64(fk.child_table);
+      fp.I64(fk.child_column);
+      fp.I64(fk.parent_table);
+      fp.I64(fk.parent_column);
+    }
+  }
+  // Every universe index on the table — base and candidate alike, in id
+  // order — because both shape the table's access costs and the
+  // advisor's size pricing; an appended candidate on this table drifts
+  // this fingerprint (and so every stamp of a query touching it).
+  for (const IndexDef* idx : cat.IndexesOnTable(table)) {
+    FoldIndexDef(&fp, idx->id, *idx);
+  }
+  if (const TableStats* ts = stats.Find(table)) {
+    fp.I64(1);
+    FoldTableStats(&fp, *ts);
+  } else {
+    fp.I64(0);
+  }
+  return fp.hash();
+}
+
+uint64_t ComputeQueryStamp(const Query& query, const CandidateSet& set,
+                           const StatsCatalog& stats,
+                           std::map<TableId, uint64_t>* table_fp_cache) {
+  Fingerprint fp;
+  // The query's own structure — the exact IR fields the builders
+  // consume, in positional order (the cache's slots are positional).
+  // The name is deliberately not folded: a rename is not drift.
+  fp.U64(query.tables.size());
+  for (TableId t : query.tables) fp.I64(t);
+  fp.U64(query.select.size());
+  for (const ColumnRef& c : query.select) {
+    fp.I64(c.table);
+    fp.I64(c.column);
+  }
+  fp.U64(query.filters.size());
+  for (const FilterPredicate& f : query.filters) {
+    fp.I64(f.column.table);
+    fp.I64(f.column.column);
+    fp.I64(static_cast<int64_t>(f.op));
+    fp.I64(f.constant);
+  }
+  fp.U64(query.joins.size());
+  for (const JoinPredicate& j : query.joins) {
+    fp.I64(j.left.table);
+    fp.I64(j.left.column);
+    fp.I64(j.right.table);
+    fp.I64(j.right.column);
+  }
+  fp.U64(query.group_by.size());
+  for (const ColumnRef& c : query.group_by) {
+    fp.I64(c.table);
+    fp.I64(c.column);
+  }
+  fp.I64(static_cast<int64_t>(query.aggregate));
+  fp.U64(query.order_by.size());
+  for (const SortKey& k : query.order_by) {
+    fp.I64(k.column.table);
+    fp.I64(k.column.column);
+    fp.I64(k.ascending ? 1 : 0);
+  }
+  // The world slices the cache was derived from: one fingerprint per
+  // touched table, in position order.
+  for (TableId t : query.tables) {
+    if (table_fp_cache != nullptr) {
+      auto it = table_fp_cache->find(t);
+      if (it == table_fp_cache->end()) {
+        it = table_fp_cache
+                 ->emplace(t, ComputeTableEpochFingerprint(t, set, stats))
+                 .first;
+      }
+      fp.U64(it->second);
+    } else {
+      fp.U64(ComputeTableEpochFingerprint(t, set, stats));
+    }
+  }
+  return fp.hash();
+}
+
+namespace {
+
+/// The previous snapshot's cache records, keyed by query name: the
+/// patch source for an incremental save. Holds views into `file.bytes`.
+struct OldCacheRecords {
+  SnapshotFile file;  // keeps the viewed bytes alive
+  struct Record {
+    uint64_t stamp = 0;
+    const char* data = nullptr;
+    size_t size = 0;
+  };
+  std::map<std::string, Record> by_name;
+};
+
+/// Best-effort read of the snapshot currently at `path` for patch
+/// reuse. Any failure — missing file, older version, corruption —
+/// just disables patching; the save then encodes every record fresh.
+OldCacheRecords ReadOldRecords(const std::string& path) {
+  OldCacheRecords old;
+  auto opened = OpenSnapshot(path);
+  if (!opened.ok()) return old;
+  old.file = std::move(*opened);
+
+  std::vector<std::string> names;
+  std::vector<uint64_t> stamps;
+  const SnapshotFile::Section* queries = old.file.Find(kSectionQueries);
+  if (queries == nullptr) return old;
+  {
+    ByteReader r(old.file.SectionData(*queries),
+                 static_cast<size_t>(queries->length));
+    uint32_t count = 0;
+    if (!r.U32(&count, "query count").ok()) return old;
+    if (count > r.Remaining() / 12) return old;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t len = 0;
+      if (!r.U32(&len, "query-name length").ok() || len > r.Remaining()) {
+        return old;
+      }
+      std::string name(len, '\0');
+      uint64_t stamp = 0;
+      if (!r.Raw(name.data(), len, "query name").ok() ||
+          !r.U64(&stamp, "query stamp").ok()) {
+        return old;
+      }
+      names.push_back(std::move(name));
+      stamps.push_back(stamp);
+    }
+  }
+
+  const SnapshotFile::Section* caches = old.file.Find(kSectionCaches);
+  if (caches == nullptr) return old;
+  const char* section = old.file.SectionData(*caches);
+  ByteReader r(section, static_cast<size_t>(caches->length));
+  uint32_t count = 0;
+  if (!r.U32(&count, "cache count").ok() || count != names.size()) return old;
+  std::vector<uint64_t> lengths;
+  if (!r.Vec(&lengths, "cache record lengths").ok() ||
+      lengths.size() != count) {
+    return old;
+  }
+  size_t at = r.Position();
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t len = static_cast<size_t>(lengths[i]);
+    if (len > static_cast<size_t>(caches->length) - at) return old;
+    old.by_name.emplace(names[i],
+                        OldCacheRecords::Record{stamps[i], section + at, len});
+    at += len;
+  }
+  return old;
+}
+
+}  // namespace
+
 Status SaveSnapshot(const std::string& path,
                     const std::vector<std::string>& query_names,
+                    const std::vector<uint64_t>& query_stamps,
                     const std::vector<SealedCache>& sealed,
-                    const SnapshotEpoch& epoch) {
-  if (query_names.size() != sealed.size()) {
+                    const SnapshotEpoch& epoch,
+                    SnapshotSaveStats* save_stats) {
+  if (query_names.size() != sealed.size() ||
+      query_stamps.size() != sealed.size()) {
     return Status::InvalidArgument(
-        "query_names and sealed caches must be parallel vectors");
+        "query_names, query_stamps and sealed caches must be parallel"
+        " vectors");
   }
+  SnapshotSaveStats stats;
 
   const ByteWriter epoch_section = EncodeEpochSection(epoch);
   ByteWriter queries_section;
   queries_section.U32(static_cast<uint32_t>(query_names.size()));
-  for (const std::string& name : query_names) {
-    queries_section.U32(static_cast<uint32_t>(name.size()));
-    queries_section.Raw(name.data(), name.size());
+  for (size_t i = 0; i < query_names.size(); ++i) {
+    queries_section.U32(static_cast<uint32_t>(query_names[i].size()));
+    queries_section.Raw(query_names[i].data(), query_names[i].size());
+    queries_section.U64(query_stamps[i]);
+  }
+
+  // Cache records, each framed by its byte length so an incremental
+  // save can splice unchanged records from the previous snapshot at
+  // this path without decoding them. The reuse key is (name, stamp,
+  // sealed universe): the stamp fingerprints every input the cache's
+  // *costs* are derived from, and the universe bound — the record's
+  // leading u64, peeked without a decode — pins the vector widths,
+  // which can differ across an append-only growth even when costs
+  // don't. Together they make a patched file byte-identical to a
+  // from-scratch save of the same result.
+  const OldCacheRecords old = ReadOldRecords(path);
+  auto universe_matches = [](const OldCacheRecords::Record& record,
+                             size_t universe) {
+    uint64_t stored = 0;
+    if (record.size < sizeof(stored)) return false;
+    std::memcpy(&stored, record.data, sizeof(stored));
+    return stored == universe;
+  };
+  std::vector<std::string> fresh(sealed.size());
+  std::vector<std::pair<const char*, size_t>> records(sealed.size());
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    const auto it = old.by_name.find(query_names[i]);
+    if (it != old.by_name.end() && it->second.stamp == query_stamps[i] &&
+        universe_matches(it->second, sealed[i].UniverseSize())) {
+      records[i] = {it->second.data, it->second.size};
+      ++stats.caches_patched;
+      continue;
+    }
+    ByteWriter w;
+    SnapshotCodec::Encode(sealed[i], &w);
+    fresh[i] = w.bytes();
+    records[i] = {fresh[i].data(), fresh[i].size()};
+    ++stats.caches_encoded;
   }
   ByteWriter caches_section;
   caches_section.U32(static_cast<uint32_t>(sealed.size()));
-  for (const SealedCache& cache : sealed) {
-    SnapshotCodec::Encode(cache, &caches_section);
+  std::vector<uint64_t> lengths;
+  lengths.reserve(records.size());
+  for (const auto& [data, size] : records) {
+    (void)data;
+    lengths.push_back(size);
   }
+  caches_section.Vec(lengths);
+  for (const auto& [data, size] : records) caches_section.Raw(data, size);
+  if (save_stats != nullptr) *save_stats = stats;
 
   const std::pair<uint32_t, const ByteWriter*> sections[] = {
       {kSectionEpoch, &epoch_section},
@@ -603,36 +853,61 @@ StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
   PINUM_ASSIGN_OR_RETURN(const SnapshotFile file, OpenSnapshot(path));
   PINUM_ASSIGN_OR_RETURN(const SnapshotEpoch stored, DecodeEpoch(file));
 
-  if (stored.schema_hash != expected.schema_hash) {
-    return Status::FailedPrecondition(HashMismatch(
-        "catalog schema", stored.schema_hash, expected.schema_hash));
-  }
-  if (stored.stats_hash != expected.stats_hash) {
+  if (stored.base_schema_hash != expected.base_schema_hash) {
     return Status::FailedPrecondition(
-        HashMismatch("statistics", stored.stats_hash, expected.stats_hash));
+        HashMismatch("base catalog schema", stored.base_schema_hash,
+                     expected.base_schema_hash));
   }
-  if (stored.universe != expected.universe ||
-      stored.candidate_ids.size() != expected.candidate_ids.size()) {
-    char msg[192];
+  // Prefix compatibility: the stored vocabulary must be the live one's
+  // first N candidates — equality when nothing grew, a strict prefix
+  // when candidates were appended after the seal (append-only growth
+  // keeps every stored id meaning the same index). Anything else —
+  // removed, reordered, or regenerated candidates — invalidates every
+  // sealed subscript.
+  const size_t stored_count = stored.candidate_ids.size();
+  if (stored_count > expected.candidate_ids.size() ||
+      !std::equal(stored.candidate_ids.begin(), stored.candidate_ids.end(),
+                  expected.candidate_ids.begin())) {
+    char msg[224];
     std::snprintf(msg, sizeof(msg),
-                  "snapshot epoch mismatch: candidate universe now has %d ids"
-                  " (%zu candidates) but the snapshot was sealed over %d ids"
-                  " (%zu candidates); rebuild the caches and save a fresh"
-                  " snapshot",
-                  expected.universe, expected.candidate_ids.size(),
-                  stored.universe, stored.candidate_ids.size());
+                  "snapshot epoch mismatch: the snapshot's %zu candidate ids"
+                  " are not a prefix of the live universe's %zu (candidates"
+                  " were removed, reordered, or regenerated); rebuild the"
+                  " caches and save a fresh snapshot",
+                  stored_count, expected.candidate_ids.size());
     return Status::FailedPrecondition(msg);
   }
-  if (stored.candidate_ids != expected.candidate_ids) {
-    // Same counts, different ids: the counts would read identically, so
-    // say what actually changed.
-    return Status::FailedPrecondition(
-        "snapshot epoch mismatch: the candidate-id vocabulary changed"
-        " (same universe size, different ids — candidates were"
-        " regenerated); rebuild the caches and save a fresh snapshot");
+  if (stored.universe > expected.universe) {
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "snapshot epoch mismatch: the snapshot covers %d universe"
+                  " ids but the live universe has only %d; rebuild the caches"
+                  " and save a fresh snapshot",
+                  stored.universe, expected.universe);
+    return Status::FailedPrecondition(msg);
+  }
+  // The prefix's *definitions* must match too (sizes included): verify
+  // the stored final hash against the live chain's entry for that
+  // prefix length.
+  uint64_t live_prefix_hash = 0;
+  if (stored_count == expected.candidate_ids.size()) {
+    live_prefix_hash = expected.universe_prefix_hash;
+  } else if (stored_count < expected.prefix_chain.size()) {
+    live_prefix_hash = expected.prefix_chain[stored_count];
+  } else {
+    return Status::InvalidArgument(
+        "expected epoch lacks the prefix chain needed to verify a"
+        " strict-prefix snapshot (compute it with ComputeSnapshotEpoch)");
+  }
+  if (stored.universe_prefix_hash != live_prefix_hash) {
+    return Status::FailedPrecondition(HashMismatch(
+        "candidate-universe definitions (a candidate's key columns or size"
+        " statistics changed)",
+        stored.universe_prefix_hash, live_prefix_hash));
   }
 
   WorkloadSnapshot snapshot;
+  snapshot.universe = stored.universe;
   const SnapshotFile::Section* queries = file.Find(kSectionQueries);
   if (queries == nullptr) return Corrupt("missing query-names section");
   {
@@ -640,13 +915,15 @@ StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
                  static_cast<size_t>(queries->length));
     uint32_t count = 0;
     PINUM_RETURN_IF_ERROR(r.U32(&count, "query count"));
-    // Every entry takes at least its 4-byte length field: bound the
-    // count (and each name length) by the remaining bytes before any
-    // allocation, so a crafted count yields a Status, not bad_alloc.
-    if (count > r.Remaining() / 4) {
+    // Every entry takes at least its 4-byte length field plus its
+    // 8-byte stamp: bound the count (and each name length) by the
+    // remaining bytes before any allocation, so a crafted count yields
+    // a Status, not bad_alloc.
+    if (count > r.Remaining() / 12) {
       return Corrupt("query count overruns its section");
     }
     snapshot.query_names.reserve(count);
+    snapshot.query_stamps.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
       uint32_t len = 0;
       PINUM_RETURN_IF_ERROR(r.U32(&len, "query-name length"));
@@ -655,7 +932,10 @@ StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
       }
       std::string name(len, '\0');
       PINUM_RETURN_IF_ERROR(r.Raw(name.data(), len, "query name"));
+      uint64_t stamp = 0;
+      PINUM_RETURN_IF_ERROR(r.U64(&stamp, "query stamp"));
       snapshot.query_names.push_back(std::move(name));
+      snapshot.query_stamps.push_back(stamp);
     }
     if (!r.AtEnd()) return Corrupt("trailing bytes in query-names section");
   }
@@ -670,11 +950,31 @@ StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
     if (count != snapshot.query_names.size()) {
       return Corrupt("cache count does not match query count");
     }
-    snapshot.sealed.resize(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      PINUM_RETURN_IF_ERROR(SnapshotCodec::Decode(&r, &snapshot.sealed[i]));
+    std::vector<uint64_t> lengths;
+    PINUM_RETURN_IF_ERROR(r.Vec(&lengths, "cache record lengths"));
+    if (lengths.size() != count) {
+      return Corrupt("cache record-length count does not match cache count");
     }
-    if (!r.AtEnd()) return Corrupt("trailing bytes in caches section");
+    snapshot.sealed.resize(count);
+    const char* section = file.SectionData(*caches);
+    size_t at = r.Position();
+    for (uint32_t i = 0; i < count; ++i) {
+      const size_t len = static_cast<size_t>(lengths[i]);
+      if (len > static_cast<size_t>(caches->length) - at) {
+        return Corrupt("cache record overruns its section");
+      }
+      // Each record decodes from exactly its framed slice — a record
+      // that reads past (or short of) its declared length is corrupt,
+      // which is also what keeps spliced (patched) records honest.
+      ByteReader record(section + at, len);
+      PINUM_RETURN_IF_ERROR(SnapshotCodec::Decode(&record,
+                                                  &snapshot.sealed[i]));
+      if (!record.AtEnd()) return Corrupt("trailing bytes in cache record");
+      at += len;
+    }
+    if (at != static_cast<size_t>(caches->length)) {
+      return Corrupt("trailing bytes in caches section");
+    }
   }
   return snapshot;
 }

@@ -4,6 +4,7 @@
 #ifndef PINUM_WHATIF_CANDIDATE_SET_H_
 #define PINUM_WHATIF_CANDIDATE_SET_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -34,6 +35,41 @@ struct CandidateSet {
   IndexId NumIndexIds() const {
     return universe.indexes().empty() ? 0
                                       : universe.indexes().rbegin()->first + 1;
+  }
+
+  /// Appends hypothetical `more` to the universe, assigning each a fresh
+  /// id strictly above every existing one. Append-only growth is the
+  /// contract that makes incremental reseal possible: every existing
+  /// candidate id, base id, and the NumIndexIds() prefix stay valid, so
+  /// sealed vectors subscripted by the old universe keep meaning the
+  /// same indexes and price the new ids as absent (their base cost).
+  /// All-or-nothing: on error (duplicate name, unknown table, bad key
+  /// columns) nothing is appended. Returns the assigned ids.
+  StatusOr<std::vector<IndexId>> Append(const std::vector<IndexDef>& more) {
+    // Validate against a scratch copy first so a failure mid-list cannot
+    // leave the universe half-grown.
+    Catalog probe = universe;
+    for (const IndexDef& def : more) {
+      PINUM_RETURN_IF_ERROR(probe.AddIndex(def).status());
+    }
+    std::vector<IndexId> assigned;
+    assigned.reserve(more.size());
+    for (const IndexDef& def : more) {
+      PINUM_ASSIGN_OR_RETURN(IndexId id, universe.AddIndex(def));
+      candidate_ids.push_back(id);
+      assigned.push_back(id);
+    }
+    return assigned;
+  }
+
+  /// True when `prefix` names the same universe as a (possibly shorter)
+  /// earlier generation of this set: its candidate ids are a prefix of
+  /// ours. The snapshot layer uses this shape to accept snapshots sealed
+  /// before an append (per-query stamps mark what actually went stale)
+  /// while rejecting any other mutation.
+  bool HasCandidatePrefix(const std::vector<IndexId>& prefix) const {
+    return prefix.size() <= candidate_ids.size() &&
+           std::equal(prefix.begin(), prefix.end(), candidate_ids.begin());
   }
 };
 

@@ -1,5 +1,6 @@
 #include "workload/cache_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -16,6 +17,73 @@ WorkloadCacheBuilder::WorkloadCacheBuilder(const Catalog* base_catalog,
       options_(std::move(options)),
       pool_(options_.num_threads) {}
 
+Status WorkloadCacheBuilder::BuildOne(const Query& query,
+                                      SharedAccessCostStore* store,
+                                      InumCache* cache,
+                                      QueryBuildStats* query_stats) const {
+  if (options_.mode == CacheBuildMode::kPinum) {
+    PinumBuildOptions opts = options_.pinum;
+    opts.shared_access = store;
+    PinumBuildStats stats;
+    PINUM_ASSIGN_OR_RETURN(*cache,
+                           BuildInumCachePinum(query, *base_catalog_,
+                                               *candidates_, *stats_, opts,
+                                               &stats));
+    *query_stats = {stats.plan_cache_calls, stats.access_cost_calls,
+                    stats.access_calls_saved, stats.plans_cached};
+  } else {
+    InumBuildOptions opts = options_.inum;
+    opts.shared_access = store;
+    InumBuildStats stats;
+    PINUM_ASSIGN_OR_RETURN(*cache,
+                           BuildInumCacheClassic(query, *base_catalog_,
+                                                 *candidates_, *stats_, opts,
+                                                 &stats));
+    *query_stats = {stats.plan_cache_calls, stats.access_cost_calls,
+                    stats.access_calls_saved, stats.plans_cached};
+  }
+  return Status::OK();
+}
+
+void WorkloadCacheBuilder::RecomputeTotals(WorkloadCacheResult* result) {
+  const double wall_ms = result->totals.wall_ms;
+  const double seal_ms = result->totals.seal_ms;
+  result->totals = {};
+  result->totals.wall_ms = wall_ms;
+  result->totals.seal_ms = seal_ms;
+  for (const QueryBuildStats& qs : result->per_query) {
+    result->totals.plan_cache_calls += qs.plan_cache_calls;
+    result->totals.access_cost_calls += qs.access_cost_calls;
+    result->totals.access_calls_saved += qs.access_calls_saved;
+    result->totals.plans_cached += qs.plans_cached;
+  }
+  for (const SealedCache& sealed : result->sealed) {
+    result->totals.plans_pruned += sealed.NumPlansPruned();
+    result->totals.terms += sealed.NumTerms();
+    result->totals.postings += sealed.NumPostings();
+  }
+}
+
+std::vector<TableId> WorkloadCacheBuilder::RefreshTableFingerprints(
+    const std::vector<Query>& queries) {
+  std::vector<TableId> drifted;
+  std::map<TableId, uint64_t> live;
+  for (const Query& q : queries) {
+    for (TableId t : q.tables) {
+      if (live.count(t) != 0) continue;
+      live[t] = ComputeTableEpochFingerprint(t, *candidates_, *stats_);
+    }
+  }
+  for (const auto& [table, fp] : live) {
+    const auto it = table_fingerprints_.find(table);
+    if (it != table_fingerprints_.end() && it->second != fp) {
+      drifted.push_back(table);
+    }
+    table_fingerprints_[table] = fp;
+  }
+  return drifted;
+}
+
 StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
     const std::vector<Query>& queries) {
   const size_t n = queries.size();
@@ -24,45 +92,35 @@ StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
   result.per_query.resize(n);
   std::vector<Status> statuses(n);
 
+  // Record (or refresh) the per-table epoch fingerprints this build runs
+  // under, invalidating any store entries a drift since the previous
+  // build made stale — a builder reused across drifts must never serve
+  // old-world access costs into a new-world build.
+  store_.InvalidateTables(RefreshTableFingerprints(queries));
+
+  // Capture each query's epoch stamp now, against the world this build
+  // consumes — snapshots persist these, so a drift after the build (but
+  // before a save) still reads as staleness instead of being masked by
+  // save-time recomputation.
+  std::map<TableId, uint64_t> fp_cache;
+  result.stamps.reserve(n);
+  for (const Query& q : queries) {
+    result.stamps.push_back(QueryStamp(q, &fp_cache));
+  }
+
   SharedAccessCostStore* store =
       options_.share_access_costs ? &store_ : nullptr;
 
   Stopwatch wall;
   pool_.ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
     const Query& q = queries[static_cast<size_t>(i)];
-    QueryBuildStats& qs = result.per_query[static_cast<size_t>(i)];
     // Failed builds keep the query's name so batch errors stay
     // attributable (replicated workloads have many similar queries).
-    auto fail = [&](const Status& st) {
+    const Status st = BuildOne(q, store, &result.caches[static_cast<size_t>(i)],
+                               &result.per_query[static_cast<size_t>(i)]);
+    if (!st.ok()) {
       statuses[static_cast<size_t>(i)] =
           Status(st.code(), q.name + ": " + st.message());
-    };
-    if (options_.mode == CacheBuildMode::kPinum) {
-      PinumBuildOptions opts = options_.pinum;
-      opts.shared_access = store;
-      PinumBuildStats stats;
-      auto cache = BuildInumCachePinum(q, *base_catalog_, *candidates_,
-                                       *stats_, opts, &stats);
-      if (!cache.ok()) {
-        fail(cache.status());
-        return;
-      }
-      result.caches[static_cast<size_t>(i)] = std::move(*cache);
-      qs = {stats.plan_cache_calls, stats.access_cost_calls,
-            stats.access_calls_saved, stats.plans_cached};
-    } else {
-      InumBuildOptions opts = options_.inum;
-      opts.shared_access = store;
-      InumBuildStats stats;
-      auto cache = BuildInumCacheClassic(q, *base_catalog_, *candidates_,
-                                         *stats_, opts, &stats);
-      if (!cache.ok()) {
-        fail(cache.status());
-        return;
-      }
-      result.caches[static_cast<size_t>(i)] = std::move(*cache);
-      qs = {stats.plan_cache_calls, stats.access_cost_calls,
-            stats.access_calls_saved, stats.plans_cached};
     }
   });
 
@@ -82,42 +140,190 @@ StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::BuildAll(
   });
   result.totals.seal_ms = seal_timer.ElapsedMillis();
   result.totals.wall_ms = wall.ElapsedMillis();
-
-  for (const QueryBuildStats& qs : result.per_query) {
-    result.totals.plan_cache_calls += qs.plan_cache_calls;
-    result.totals.access_cost_calls += qs.access_cost_calls;
-    result.totals.access_calls_saved += qs.access_calls_saved;
-    result.totals.plans_cached += qs.plans_cached;
-  }
-  for (const SealedCache& sealed : result.sealed) {
-    result.totals.plans_pruned += sealed.NumPlansPruned();
-    result.totals.terms += sealed.NumTerms();
-    result.totals.postings += sealed.NumPostings();
-  }
+  RecomputeTotals(&result);
   return result;
+}
+
+Status WorkloadCacheBuilder::RebuildQueries(
+    const std::vector<std::string>& names, const std::vector<Query>& queries,
+    WorkloadCacheResult* result, WorkloadCacheStats* rebuild_totals) {
+  if (result->caches.size() != queries.size() ||
+      result->sealed.size() != queries.size() ||
+      result->per_query.size() != queries.size() ||
+      result->stamps.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "reseal: result is not parallel to queries (" +
+        std::to_string(result->sealed.size()) + " caches, " +
+        std::to_string(queries.size()) + " queries) — pass BuildAll's"
+        " inputs and output unchanged (restored snapshots: copy"
+        " query_stamps into result.stamps)");
+  }
+  // Resolve names to positions (first match; workload names are unique).
+  std::vector<size_t> targets;
+  for (const std::string& name : names) {
+    size_t at = queries.size();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].name == name) {
+        at = i;
+        break;
+      }
+    }
+    if (at == queries.size()) {
+      return Status::InvalidArgument("reseal: no query named '" + name + "'");
+    }
+    if (std::find(targets.begin(), targets.end(), at) == targets.end()) {
+      targets.push_back(at);
+    }
+  }
+
+  // Exact store invalidation: only tables whose epoch fingerprint
+  // drifted since the last build lose their shared access-cost entries;
+  // everything else keeps serving this rebuild (that is the k-of-N win —
+  // a stale query re-pays its own optimizer calls, not its neighbours').
+  store_.InvalidateTables(RefreshTableFingerprints(queries));
+
+  SharedAccessCostStore* store =
+      options_.share_access_costs ? &store_ : nullptr;
+  const size_t k = targets.size();
+  std::vector<Status> statuses(k);
+  std::vector<QueryBuildStats> fresh_stats(k);
+  // Built into scratch and installed only after every status is OK, so
+  // an error leaves `result` exactly as it was — never half-updated.
+  std::vector<InumCache> fresh_caches(k);
+
+  Stopwatch wall;
+  pool_.ParallelFor(static_cast<int64_t>(k), [&](int64_t j) {
+    const Query& q = queries[targets[static_cast<size_t>(j)]];
+    const Status st = BuildOne(q, store, &fresh_caches[static_cast<size_t>(j)],
+                               &fresh_stats[static_cast<size_t>(j)]);
+    if (!st.ok()) {
+      statuses[static_cast<size_t>(j)] =
+          Status(st.code(), q.name + ": " + st.message());
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  // Reseal the rebuilt queries against the *current* universe: ids
+  // appended since the original build become priceable here, while
+  // untouched queries keep their narrower sealed form — which prices
+  // the new ids at base cost, bit-identical to what a cold rebuild
+  // computes for a query the new candidates cannot serve.
+  Stopwatch seal_timer;
+  const IndexId num_index_ids = candidates_->NumIndexIds();
+  std::vector<SealedCache> fresh_sealed(k);
+  pool_.ParallelFor(static_cast<int64_t>(k), [&](int64_t j) {
+    fresh_sealed[static_cast<size_t>(j)] = SealedCache::Seal(
+        fresh_caches[static_cast<size_t>(j)], num_index_ids);
+  });
+  const double seal_ms = seal_timer.ElapsedMillis();
+  const double wall_ms = wall.ElapsedMillis();
+
+  std::map<TableId, uint64_t> fp_cache;
+  for (size_t j = 0; j < k; ++j) {
+    const size_t i = targets[j];
+    result->caches[i] = std::move(fresh_caches[j]);
+    result->sealed[i] = std::move(fresh_sealed[j]);
+    result->per_query[i] = fresh_stats[j];
+    // Re-stamp against the drifted world these rebuilds consumed;
+    // untouched queries keep the stamps of the world they were built
+    // under.
+    result->stamps[i] = QueryStamp(queries[i], &fp_cache);
+  }
+  result->totals.wall_ms = wall_ms;
+  result->totals.seal_ms = seal_ms;
+  RecomputeTotals(result);
+
+  if (rebuild_totals != nullptr) {
+    *rebuild_totals = {};
+    for (size_t j = 0; j < k; ++j) {
+      rebuild_totals->plan_cache_calls += fresh_stats[j].plan_cache_calls;
+      rebuild_totals->access_cost_calls += fresh_stats[j].access_cost_calls;
+      rebuild_totals->access_calls_saved += fresh_stats[j].access_calls_saved;
+      rebuild_totals->plans_cached += fresh_stats[j].plans_cached;
+    }
+    for (size_t j = 0; j < k; ++j) {
+      const SealedCache& sealed = result->sealed[targets[j]];
+      rebuild_totals->plans_pruned += sealed.NumPlansPruned();
+      rebuild_totals->terms += sealed.NumTerms();
+      rebuild_totals->postings += sealed.NumPostings();
+    }
+    rebuild_totals->wall_ms = wall_ms;
+    rebuild_totals->seal_ms = seal_ms;
+  }
+  return Status::OK();
+}
+
+uint64_t WorkloadCacheBuilder::QueryStamp(
+    const Query& query, std::map<TableId, uint64_t>* table_fp_cache) const {
+  // Fold the world-slice stamp with the build shape: two builders bound
+  // to one world but building different cache flavours (mode, NLJ
+  // handling, join-space switches) must not treat each other's sealed
+  // bytes as reusable.
+  uint64_t h =
+      ComputeQueryStamp(query, *candidates_, *stats_, table_fp_cache);
+  auto fold = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  fold(static_cast<uint64_t>(options_.mode));
+  const PlannerKnobs& knobs = options_.mode == CacheBuildMode::kPinum
+                                  ? options_.pinum.base_knobs
+                                  : options_.inum.base_knobs;
+  fold(knobs.enable_nestloop ? 1 : 0);
+  fold(knobs.enable_hashjoin ? 1 : 0);
+  fold(knobs.enable_mergejoin ? 1 : 0);
+  fold(options_.mode == CacheBuildMode::kPinum
+           ? static_cast<uint64_t>(options_.pinum.nlj_extreme_calls) * 2 +
+                 (options_.pinum.nlj_export_all ? 1 : 0)
+           : (options_.inum.include_nlj_plans ? 1 : 0));
+  return h;
+}
+
+std::vector<size_t> WorkloadCacheBuilder::StaleQueries(
+    const WorkloadSnapshot& snapshot,
+    const std::vector<Query>& queries) const {
+  std::vector<size_t> stale;
+  std::map<TableId, uint64_t> fp_cache;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i >= snapshot.query_names.size() ||
+        i >= snapshot.query_stamps.size() ||
+        snapshot.query_names[i] != queries[i].name ||
+        snapshot.query_stamps[i] != QueryStamp(queries[i], &fp_cache)) {
+      stale.push_back(i);
+    }
+  }
+  return stale;
 }
 
 Status WorkloadCacheBuilder::SaveSnapshot(const std::string& path,
                                           const WorkloadCacheResult& result,
-                                          const std::vector<Query>& queries)
+                                          const std::vector<Query>& queries,
+                                          SnapshotSaveStats* save_stats)
     const {
-  if (result.sealed.size() != queries.size()) {
+  if (result.sealed.size() != queries.size() ||
+      result.stamps.size() != queries.size()) {
     return Status::InvalidArgument(
-        "snapshot save: result.sealed and queries are not parallel (" +
-        std::to_string(result.sealed.size()) + " caches, " +
+        "snapshot save: result.sealed/stamps and queries are not parallel"
+        " (" + std::to_string(result.sealed.size()) + " caches, " +
+        std::to_string(result.stamps.size()) + " stamps, " +
         std::to_string(queries.size()) + " queries)");
   }
   std::vector<std::string> names;
   names.reserve(queries.size());
   for (const Query& q : queries) names.push_back(q.name);
-  return pinum::SaveSnapshot(path, names, result.sealed,
-                             ComputeSnapshotEpoch(*candidates_, *stats_));
+  // The stamps persisted are the ones captured when each cache was
+  // (re)built — the world the bytes were actually derived from. Stamps
+  // recomputed here from the live world would mask any drift that
+  // happened since the build, which is exactly what StaleQueries must
+  // be able to see after a reload.
+  return pinum::SaveSnapshot(path, names, result.stamps, result.sealed,
+                             ComputeSnapshotEpoch(*candidates_), save_stats);
 }
 
 StatusOr<WorkloadSnapshot> WorkloadCacheBuilder::LoadSnapshot(
     const std::string& path) const {
-  return pinum::LoadSnapshot(path,
-                             ComputeSnapshotEpoch(*candidates_, *stats_));
+  return pinum::LoadSnapshot(path, ComputeSnapshotEpoch(*candidates_));
 }
 
 }  // namespace pinum

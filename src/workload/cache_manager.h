@@ -8,6 +8,7 @@
 #define PINUM_WORKLOAD_CACHE_MANAGER_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include <string>
@@ -91,6 +92,13 @@ struct WorkloadCacheResult {
   std::vector<InumCache> caches;
   std::vector<SealedCache> sealed;
   std::vector<QueryBuildStats> per_query;
+  /// Per-query epoch stamps captured when each cache was (re)built —
+  /// QueryStamp under the world that build actually consumed. Snapshots
+  /// persist these, NOT stamps recomputed at save time: if the world
+  /// drifts between a build and a save, the stored stamps must still
+  /// describe the caches' world so StaleQueries reports the drift
+  /// instead of masking it.
+  std::vector<uint64_t> stamps;
   WorkloadCacheStats totals;
 };
 
@@ -107,29 +115,90 @@ class WorkloadCacheBuilder {
   /// Builds every query's cache (concurrently when num_threads != 1) and
   /// seals each once for serving. result.caches[i] and result.sealed[i]
   /// correspond to queries[i]; the first per-query build error aborts the
-  /// batch.
+  /// batch. Also records the per-table epoch fingerprints the build ran
+  /// under, which a later RebuildQueries diffs to invalidate exactly the
+  /// drifted tables' shared access-cost entries.
   StatusOr<WorkloadCacheResult> BuildAll(const std::vector<Query>& queries);
 
+  /// Incremental reseal: re-runs the optimizer and reseals *only* the
+  /// named queries — the ones a drift staled (stats re-ANALYZEd,
+  /// candidates appended; see src/workload/drift.h and StaleQueries) —
+  /// updating `result` in place. `queries` and `result` must be
+  /// BuildAll's inputs and output (parallel vectors); every name must
+  /// resolve to a query. Costs k stale queries' worth of optimizer
+  /// calls instead of a whole-workload rebuild:
+  ///
+  ///  - shared access-cost entries are invalidated per table, not
+  ///    wholesale: tables whose epoch fingerprint (schema slice, stats,
+  ///    indexes on the table) drifted since the last build lose their
+  ///    entries, still-valid cross-query answers keep serving;
+  ///  - rebuilt queries reseal against the *current* universe
+  ///    (candidates appended since BuildAll become priceable), while
+  ///    untouched queries keep their sealed form — which prices
+  ///    beyond-universe ids at base cost, exactly what a cold rebuild
+  ///    would compute for them, so mixed-generation serving stays
+  ///    bit-identical to a cold BuildAll under the drifted world (the
+  ///    differential suite in tests/incremental_reseal_test.cc pins
+  ///    this across evaluator and advisor paths);
+  ///  - result->totals is recomputed from the updated per-query rows
+  ///    (wall_ms/seal_ms become this rebuild's times); the rebuild's
+  ///    own accounting lands in `rebuild_totals` when given.
+  Status RebuildQueries(const std::vector<std::string>& names,
+                        const std::vector<Query>& queries,
+                        WorkloadCacheResult* result,
+                        WorkloadCacheStats* rebuild_totals = nullptr);
+
+  /// The per-query epoch stamp this builder seals `query` under *right
+  /// now*: ComputeQueryStamp over the bound (candidates, stats) folded
+  /// with the build mode and planner switches — everything a rebuilt
+  /// cache's contents are derived from, so equal stamps mean
+  /// cost-identical caches and a drifted stamp means "reseal me".
+  /// BuildAll/RebuildQueries capture these into WorkloadCacheResult::
+  /// stamps at build time; `table_fp_cache`, when given, memoizes
+  /// per-table fingerprints across calls (star workloads touch the
+  /// fact table from every query).
+  uint64_t QueryStamp(const Query& query,
+                      std::map<TableId, uint64_t>* table_fp_cache =
+                          nullptr) const;
+
+  /// Indices into `queries` whose snapshot entry is stale: the name at
+  /// that position is missing or different, or the stored stamp differs
+  /// from the live QueryStamp. Pass the result's names straight to
+  /// RebuildQueries after restoring `snapshot.sealed` into a
+  /// WorkloadCacheResult; an empty return means the snapshot serves the
+  /// whole workload as-is.
+  std::vector<size_t> StaleQueries(const WorkloadSnapshot& snapshot,
+                                   const std::vector<Query>& queries) const;
+
   /// Persists a build's sealed caches to `path` as one versioned
-  /// snapshot file (format: docs/SNAPSHOT_FORMAT.md), stamped with the
-  /// epoch fingerprint of this builder's bound (catalog, candidate
-  /// universe, statistics). `result.sealed` must be parallel to
-  /// `queries` — pass BuildAll's inputs and output unchanged.
+  /// snapshot file (format: docs/SNAPSHOT_FORMAT.md), carrying the
+  /// universe epoch of this builder's bound candidates plus one
+  /// QueryStamp per query. When `path` already holds a snapshot, cache
+  /// records whose name and stamp are unchanged are patched in verbatim
+  /// instead of re-encoded (the incremental-reseal save path); the file
+  /// is still written whole via tmp+rename. `result.sealed` must be
+  /// parallel to `queries` — pass BuildAll's inputs and output
+  /// unchanged. Per-record patch accounting lands in `save_stats` when
+  /// given.
   Status SaveSnapshot(const std::string& path,
                       const WorkloadCacheResult& result,
-                      const std::vector<Query>& queries) const;
+                      const std::vector<Query>& queries,
+                      SnapshotSaveStats* save_stats = nullptr) const;
 
   /// Restores a snapshot into serving-ready sealed caches without any
-  /// optimizer call — the restart path. The snapshot's stored epoch must
-  /// match this builder's bound (catalog, candidates, stats) exactly;
-  /// a snapshot sealed under a different schema, universe, or statistics
-  /// is rejected with kFailedPrecondition (see inum/snapshot.h for the
-  /// full failure-code taxonomy). The restored caches answer every
-  /// cost question bit-identically to the caches that were saved.
-  /// The epoch deliberately does not bind the query set (any workload
-  /// over the same universe may snapshot); callers serving a specific
-  /// workload should verify the returned query_names match it, as
-  /// advisor_tool --load does.
+  /// optimizer call — the restart path. The snapshot must be
+  /// *compatible* with this builder's bound candidates: same base
+  /// schema, and its universe equal to — or an append-only prefix of —
+  /// the live one; any other mutation is rejected with
+  /// kFailedPrecondition (see inum/snapshot.h for the full failure-code
+  /// taxonomy). Statistics drift does NOT reject the load: diff the
+  /// returned stamps with StaleQueries and hand the stale names to
+  /// RebuildQueries — that pair is the incremental restart path. The
+  /// restored caches answer every cost question bit-identically to the
+  /// caches that were saved. The epoch deliberately does not bind the
+  /// query set (any workload over the same universe may snapshot);
+  /// callers serving a specific workload should verify the returned
+  /// query_names match it, as advisor_tool --load does.
   StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path) const;
 
   /// The builder's pool — reusable for batched configuration pricing.
@@ -137,12 +206,30 @@ class WorkloadCacheBuilder {
   const SharedAccessCostStore& store() const { return store_; }
 
  private:
+  /// Builds one query's cache + accounting with the active mode; the
+  /// shared per-query body of BuildAll and RebuildQueries.
+  Status BuildOne(const Query& query, SharedAccessCostStore* store,
+                  InumCache* cache, QueryBuildStats* query_stats) const;
+
+  /// Re-derives totals from per_query + sealed sums (wall/seal times are
+  /// left to the caller).
+  static void RecomputeTotals(WorkloadCacheResult* result);
+
+  /// Diffs the live per-table epoch fingerprints against the ones the
+  /// last build recorded, invalidates drifted tables' store entries, and
+  /// re-records. Returns the drifted tables.
+  std::vector<TableId> RefreshTableFingerprints(
+      const std::vector<Query>& queries);
+
   const Catalog* base_catalog_;
   const CandidateSet* candidates_;
   const StatsCatalog* stats_;
   WorkloadCacheOptions options_;
   ThreadPool pool_;
   SharedAccessCostStore store_;
+  /// Per-table epoch fingerprints (snapshot.h) as of the last
+  /// BuildAll/RebuildQueries, for exact store invalidation under drift.
+  std::map<TableId, uint64_t> table_fingerprints_;
 };
 
 }  // namespace pinum

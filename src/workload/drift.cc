@@ -1,0 +1,146 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "whatif/whatif_index.h"
+
+namespace pinum {
+
+std::vector<std::string> QueriesTouchingTables(
+    const std::vector<Query>& queries, const std::vector<TableId>& tables) {
+  std::vector<std::string> stale;
+  for (const Query& q : queries) {
+    for (TableId t : tables) {
+      if (q.PosOfTable(t) >= 0) {
+        stale.push_back(q.name);
+        break;
+      }
+    }
+  }
+  return stale;
+}
+
+void DriftTableStats(const Catalog& catalog, TableId table, double factor,
+                     StatsCatalog* stats) {
+  const TableStats* current = stats->Find(table);
+  const TableDef* def = catalog.FindTable(table);
+  if (current == nullptr || def == nullptr) return;
+  TableStats drifted = *current;
+  drifted.row_count = std::max(1.0, drifted.row_count * factor);
+  drifted.RecomputePages(*def);
+  for (ColumnStats& cs : drifted.columns) {
+    cs.n_distinct = std::min(drifted.row_count, cs.n_distinct * factor);
+  }
+  stats->Put(table, std::move(drifted));
+}
+
+StatusOr<DriftResult> ApplyDrift(const std::vector<Query>& queries,
+                                 CandidateSet* set, StatsCatalog* stats,
+                                 size_t target_stale, uint64_t seed,
+                                 const DriftOptions& options) {
+  DriftResult result;
+  Rng rng(seed);
+
+  // Tables any query touches, each with its blast radius (how many
+  // queries a drift of it stales). Smallest radius first — with ties
+  // shuffled by the seed — so small targets drift leaf tables, not the
+  // fact table everything joins.
+  std::vector<TableId> tables;
+  for (const Query& q : queries) {
+    for (TableId t : q.tables) {
+      if (std::find(tables.begin(), tables.end(), t) == tables.end()) {
+        tables.push_back(t);
+      }
+    }
+  }
+  std::sort(tables.begin(), tables.end());
+  rng.Shuffle(&tables);
+  std::map<TableId, size_t> radius;
+  for (TableId t : tables) {
+    radius[t] = QueriesTouchingTables(queries, {t}).size();
+  }
+  std::stable_sort(tables.begin(), tables.end(), [&](TableId a, TableId b) {
+    return radius[a] < radius[b];
+  });
+
+  if (target_stale > 0) {
+    for (TableId t : tables) {
+      if (QueriesTouchingTables(queries, result.drifted_tables).size() >=
+          target_stale) {
+        break;
+      }
+      result.drifted_tables.push_back(t);
+      const double factor =
+          options.factor_min +
+          (options.factor_max - options.factor_min) * rng.NextDouble();
+      DriftTableStats(set->universe, t, factor, stats);
+    }
+  }
+
+  for (int c = 0; c < options.add_candidates; ++c) {
+    // New candidates land on drifted tables (the realistic shape: the
+    // advisor reacts to the same drift), or on any query table when the
+    // drift is growth-only.
+    const std::vector<TableId>& pool =
+        result.drifted_tables.empty() ? tables : result.drifted_tables;
+    if (pool.empty()) break;
+    const TableId table = pool[rng.Index(pool.size())];
+    const TableDef* def = set->universe.FindTable(table);
+    const TableStats* ts = stats->Find(table);
+    if (def == nullptr || ts == nullptr || def->columns.empty()) continue;
+    std::vector<ColumnIdx> keys = {
+        static_cast<ColumnIdx>(rng.Index(def->columns.size()))};
+    // A name no generator produces, unique per (seed, ordinal), so
+    // repeated drifts of one universe cannot collide.
+    const std::string name = "drift_" + std::to_string(seed) + "_" +
+                             std::to_string(c) + "_" + def->name;
+    PINUM_ASSIGN_OR_RETURN(
+        const std::vector<IndexId> added,
+        set->Append({MakeWhatIfIndex(name, *def, keys, ts->row_count)}));
+    result.added_candidates.insert(result.added_candidates.end(),
+                                   added.begin(), added.end());
+    if (std::find(result.drifted_tables.begin(), result.drifted_tables.end(),
+                  table) == result.drifted_tables.end()) {
+      result.drifted_tables.push_back(table);
+    }
+  }
+
+  result.stale_queries = QueriesTouchingTables(queries, result.drifted_tables);
+  return result;
+}
+
+std::vector<Query> VaryQueryMix(const std::vector<Query>& queries,
+                                uint64_t seed, size_t min_keep) {
+  Rng rng(seed);
+  std::vector<Query> mix = queries;
+  rng.Shuffle(&mix);
+  const size_t keep =
+      std::max(std::min(min_keep, mix.size()),
+               mix.empty() ? size_t{0} : 1 + rng.Index(mix.size()));
+  mix.resize(keep);
+  // Clone names are uniquified against everything already in the mix —
+  // rounds compose (this round's input may itself contain clones), and
+  // duplicate names would break name-keyed reseal targeting.
+  std::set<std::string> taken;
+  for (const Query& q : mix) taken.insert(q.name);
+  const size_t clones = mix.empty() ? 0 : rng.Index(mix.size() + 1);
+  for (size_t c = 0; c < clones; ++c) {
+    Query clone = mix[rng.Index(keep)];
+    size_t suffix = c;
+    std::string name;
+    do {
+      name = clone.name + "_v" + std::to_string(suffix++);
+    } while (taken.count(name) != 0);
+    clone.name = std::move(name);
+    taken.insert(clone.name);
+    mix.push_back(std::move(clone));
+  }
+  return mix;
+}
+
+}  // namespace pinum

@@ -1,0 +1,82 @@
+// Seeded world-drift generation for the serving layer's maintenance
+// paths: reproducible "the world changed underneath the sealed caches"
+// scenarios — table cardinalities re-ANALYZEd, candidate indexes
+// appended to the universe, query mixes churned — plus the exact
+// stale-query set each drift implies. The differential reseal suite
+// (tests/incremental_reseal_test.cc), bench_incremental_reseal, and
+// advisor_tool --reseal all drive RebuildQueries through this one
+// generator, so a failure reproduces from its printed seed.
+#ifndef PINUM_WORKLOAD_DRIFT_H_
+#define PINUM_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "stats/table_stats.h"
+#include "whatif/candidate_set.h"
+
+namespace pinum {
+
+/// Drift-shape knobs. Everything downstream of the seed is
+/// deterministic: equal (queries, set, stats, target, seed, options)
+/// produce equal drifts.
+struct DriftOptions {
+  /// Each drifted table's row count is scaled by a factor drawn
+  /// uniformly from [factor_min, factor_max] (per table, seeded).
+  double factor_min = 1.1;
+  double factor_max = 1.5;
+  /// Candidate indexes to append to the universe (on drifted tables, or
+  /// on random query tables when nothing stats-drifted). Append-only:
+  /// existing ids stay stable, which is what keeps un-resealed caches
+  /// valid — a dropped or redefined candidate is a non-prefix epoch
+  /// mutation and means a full rebuild, not a drift.
+  int add_candidates = 0;
+};
+
+/// One applied drift: which tables changed (statistics scaled and/or a
+/// candidate appended), which candidate ids were appended, and — derived
+/// from those tables — exactly the queries whose caches went stale, in
+/// workload order. Feed `stale_queries` straight to
+/// WorkloadCacheBuilder::RebuildQueries.
+struct DriftResult {
+  std::vector<TableId> drifted_tables;
+  std::vector<IndexId> added_candidates;
+  std::vector<std::string> stale_queries;
+};
+
+/// Names of the queries touching any of `tables`, in workload order —
+/// the exact set a drift of those tables stales (a query not touching a
+/// drifted table prices bit-identically before and after).
+std::vector<std::string> QueriesTouchingTables(
+    const std::vector<Query>& queries, const std::vector<TableId>& tables);
+
+/// Re-ANALYZE simulation for one table: scales row_count by `factor`,
+/// recomputes heap pages from the definition, and rescales per-column
+/// distinct counts (capped at the new row count). Deterministic.
+void DriftTableStats(const Catalog& catalog, TableId table, double factor,
+                     StatsCatalog* stats);
+
+/// Applies a seeded drift staling at least `target_stale` of `queries`
+/// (0 = no drift; >= queries.size() drifts every query): picks the
+/// smallest-impact tables first so small targets stay small, scales
+/// their statistics in `stats`, optionally appends candidates to `set`
+/// (DriftOptions::add_candidates), and reports the stale set. Mutates
+/// `set` and `stats` in place — drift the same objects the builder is
+/// bound to.
+StatusOr<DriftResult> ApplyDrift(const std::vector<Query>& queries,
+                                 CandidateSet* set, StatsCatalog* stats,
+                                 size_t target_stale, uint64_t seed,
+                                 const DriftOptions& options = {});
+
+/// Seeded workload churn: a shuffled subset of `queries` (at least
+/// `min_keep`) plus renamed clones of some survivors — the "query mixes
+/// vary between tuning rounds" half of drift. Names stay unique.
+std::vector<Query> VaryQueryMix(const std::vector<Query>& queries,
+                                uint64_t seed, size_t min_keep = 1);
+
+}  // namespace pinum
+
+#endif  // PINUM_WORKLOAD_DRIFT_H_

@@ -1,0 +1,347 @@
+// Differential rebuild-equivalence property suite for incremental
+// reseal: after drifting the world for k of N queries (statistics
+// re-ANALYZEd and/or candidates appended to the universe),
+// WorkloadCacheBuilder::RebuildQueries over exactly the stale set must
+// make k queries' worth of optimizer calls and leave the serving layer
+// — BatchCost over random configurations and RunGreedyAdvisor across
+// both cost paths, pooled and serial — *bitwise identical* to a cold
+// BuildAll under the drifted world. Every case is seeded through the
+// drift generator (src/workload/drift.h) and prints its seed on
+// failure, so any divergence reproduces from the log line alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advisor/greedy_advisor.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
+#include "workload/drift.h"
+
+namespace pinum {
+namespace {
+
+/// One differential case, fully seeded: copy the pristine world,
+/// build, drift to >= `target` stale queries, reseal incrementally,
+/// cold-rebuild, compare everything bitwise.
+void RunDifferentialCase(const Catalog& catalog,
+                         const CandidateSet& pristine_set,
+                         const StatsCatalog& pristine_stats,
+                         const std::vector<Query>& queries, size_t target,
+                         uint64_t seed, const WorkloadCacheOptions& opts,
+                         const DriftOptions& dopts = {}) {
+  SCOPED_TRACE("reseal case: seed " + std::to_string(seed) + ", target " +
+               std::to_string(target) + " of " +
+               std::to_string(queries.size()) + " queries, mode " +
+               (opts.mode == CacheBuildMode::kPinum ? "pinum" : "classic") +
+               ", add_candidates " + std::to_string(dopts.add_candidates));
+  // Per-case world copies: drift mutates them, the fixture's pristine
+  // originals serve the next case.
+  CandidateSet set = pristine_set;
+  StatsCatalog stats = pristine_stats;
+
+  WorkloadCacheBuilder incremental(&catalog, &set, &stats, opts);
+  auto built = incremental.BuildAll(queries);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  auto drift = ApplyDrift(queries, &set, &stats, target, seed, dopts);
+  ASSERT_TRUE(drift.ok()) << drift.status().ToString();
+  if (target > 0) {
+    ASSERT_GE(drift->stale_queries.size(),
+              std::min(target, queries.size()));
+  }
+
+  WorkloadCacheStats rebuild_totals;
+  const Status st = incremental.RebuildQueries(drift->stale_queries,
+                                               queries, &*built,
+                                               &rebuild_totals);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // The comparator: a cold whole-workload build under the drifted
+  // world, from a fresh builder with an empty shared store.
+  WorkloadCacheBuilder cold_builder(&catalog, &set, &stats, opts);
+  auto cold = cold_builder.BuildAll(queries);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  // O(k) optimizer calls, not O(N): plan-cache calls are per query
+  // and unaffected by sharing, so the rebuild must have paid exactly
+  // the stale queries' share of the cold build's.
+  int64_t stale_plan_calls = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::find(drift->stale_queries.begin(), drift->stale_queries.end(),
+                  queries[i].name) != drift->stale_queries.end()) {
+      stale_plan_calls += cold->per_query[i].plan_cache_calls;
+    }
+  }
+  EXPECT_EQ(rebuild_totals.plan_cache_calls, stale_plan_calls);
+  if (drift->stale_queries.size() < queries.size()) {
+    EXPECT_LT(rebuild_totals.plan_cache_calls +
+                  rebuild_totals.access_cost_calls,
+              cold->totals.plan_cache_calls +
+                  cold->totals.access_cost_calls);
+  }
+
+  // Evaluator identity: random configurations over the (possibly
+  // grown) universe — empty, atomic, multi-index, appended ids,
+  // out-of-universe ids — priced through the pooled batch path on the
+  // incremental caches and the serial path on the cold ones.
+  ThreadPool pool(4);
+  const WorkloadCostEvaluator inc_eval(&built->sealed, &pool);
+  const WorkloadCostEvaluator cold_eval(&cold->sealed);
+  Rng rng(seed * 7919 + target);
+  std::vector<IndexConfig> configs;
+  configs.push_back({});
+  for (int t = 0; t < 24; ++t) {
+    IndexConfig config =
+        RandomSubsetConfig(set, &rng, rng.NextDouble() * 0.2);
+    for (IndexId added : drift->added_candidates) {
+      if (rng.Chance(0.5)) config.push_back(added);
+    }
+    if (rng.Chance(0.3)) config.push_back(set.NumIndexIds() + 17);
+    configs.push_back(std::move(config));
+  }
+  const std::vector<double> incremental_costs = inc_eval.BatchCost(configs);
+  ASSERT_EQ(incremental_costs.size(), configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    EXPECT_EQ(incremental_costs[c], cold_eval.Cost(configs[c]))
+        << "config " << c << " size " << configs[c].size();
+  }
+
+  // Advisor identity: both cost paths, pooled and serial, field for
+  // field against the cold build's serial batched run.
+  AdvisorOptions aopts;
+  aopts.budget_bytes = 512LL * 1024 * 1024;
+  for (const AdvisorCostPath path :
+       {AdvisorCostPath::kDelta, AdvisorCostPath::kBatched}) {
+    SCOPED_TRACE(path == AdvisorCostPath::kDelta ? "delta path"
+                                                 : "batched path");
+    AdvisorOptions popts = aopts;
+    popts.cost_path = path;
+    const AdvisorResult want = RunGreedyAdvisor(cold->sealed, set, popts);
+    const AdvisorResult serial =
+        RunGreedyAdvisor(WorkloadCostEvaluator(&built->sealed), set, popts);
+    ExpectSameAdvisorResult(want, serial);
+    const AdvisorResult pooled = RunGreedyAdvisor(inc_eval, set, popts);
+    ExpectSameAdvisorResult(want, pooled);
+  }
+}
+
+// RunDifferentialCase's callers below share the expensive star fixture.
+class IncrementalResealTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<StarFixture> fix_;
+
+  static void SetUpTestSuite() {
+    fix_ = MakeStarFixture();
+    ASSERT_NE(fix_, nullptr);
+  }
+  static void TearDownTestSuite() { fix_.reset(); }
+
+  static void RunStarCase(size_t target, uint64_t seed,
+                          const DriftOptions& dopts = {}) {
+    WorkloadCacheOptions opts;
+    RunDifferentialCase(fix_->catalog(), fix_->set, fix_->stats(),
+                        fix_->queries(), target, seed, opts, dopts);
+  }
+};
+
+std::unique_ptr<StarFixture> IncrementalResealTest::fix_ = nullptr;
+
+TEST_F(IncrementalResealTest, NoDriftRebuildsNothing) {
+  // k = 0: the empty reseal is a no-op and the world stays bitwise
+  // identical to a cold rebuild of the unchanged world.
+  RunStarCase(0, 11);
+}
+
+TEST_F(IncrementalResealTest, SingleQueryDrift) {
+  // k = 1-ish: the generator drifts the smallest-radius table, so the
+  // stale set is as small as the topology allows.
+  RunStarCase(1, 13);
+  RunStarCase(1, 17);
+}
+
+TEST_F(IncrementalResealTest, HalfWorkloadDrift) {
+  RunStarCase(fix_->queries().size() / 2, 19);
+  RunStarCase(fix_->queries().size() / 2, 23);
+}
+
+TEST_F(IncrementalResealTest, FullWorkloadDrift) {
+  // k = N: every query stale — incremental and cold converge to the
+  // same full rebuild, bit for bit.
+  RunStarCase(fix_->queries().size(), 29);
+}
+
+TEST_F(IncrementalResealTest, UniverseGrowthDrift) {
+  // Candidates appended to the universe: rebuilt queries reseal against
+  // the grown universe, untouched queries keep serving their narrower
+  // seal (new ids price at base), and both must agree bitwise with a
+  // cold build over the grown universe — including advisor runs that
+  // may *choose* an appended candidate.
+  DriftOptions dopts;
+  dopts.add_candidates = 2;
+  RunStarCase(1, 31, dopts);
+  RunStarCase(fix_->queries().size(), 37, dopts);
+}
+
+TEST_F(IncrementalResealTest, GrowthOnlyDriftWithoutStatsChange) {
+  // Growth with no stats perturbation at all (target 0 + appends): only
+  // queries touching the appended candidates' tables go stale.
+  DriftOptions dopts;
+  dopts.add_candidates = 1;
+  dopts.factor_min = dopts.factor_max = 1.0;
+  RunStarCase(0, 41, dopts);
+}
+
+TEST_F(IncrementalResealTest, VariedQueryMix) {
+  // Workload churn between rounds: a seeded subset + clones of the star
+  // queries, then the same differential property.
+  for (const uint64_t seed : {43u, 47u}) {
+    const std::vector<Query> mix =
+        VaryQueryMix(fix_->queries(), seed, /*min_keep=*/2);
+    ASSERT_GE(mix.size(), 2u);
+    WorkloadCacheOptions opts;
+    RunDifferentialCase(fix_->catalog(), fix_->set, fix_->stats(), mix,
+                        mix.size() / 2, seed, opts);
+  }
+}
+
+TEST_F(IncrementalResealTest, UntouchedQueriesKeepTheirSealedForm) {
+  CandidateSet set = fix_->set;
+  StatsCatalog stats = fix_->stats();
+  const std::vector<Query>& queries = fix_->queries();
+  WorkloadCacheOptions opts;
+  WorkloadCacheBuilder builder(&fix_->catalog(), &set, &stats, opts);
+  auto built = builder.BuildAll(queries);
+  ASSERT_TRUE(built.ok());
+
+  DriftOptions dopts;
+  dopts.add_candidates = 1;
+  auto drift = ApplyDrift(queries, &set, &stats, 1, 53, dopts);
+  ASSERT_TRUE(drift.ok());
+  ASSERT_FALSE(drift->stale_queries.empty());
+  ASSERT_LT(drift->stale_queries.size(), queries.size());
+
+  // Record the untouched queries' per-query accounting and a sampled
+  // cost before the reseal; both must come through unchanged.
+  Rng rng(59);
+  std::vector<double> before(queries.size());
+  const IndexConfig probe = RandomSubsetConfig(set, &rng, 0.1);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    before[i] = built->sealed[i].Cost(probe);
+  }
+  const std::vector<QueryBuildStats> per_query_before = built->per_query;
+
+  ASSERT_TRUE(
+      builder.RebuildQueries(drift->stale_queries, queries, &*built).ok());
+  const IndexId grown_universe = set.NumIndexIds();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const bool stale =
+        std::find(drift->stale_queries.begin(), drift->stale_queries.end(),
+                  queries[i].name) != drift->stale_queries.end();
+    if (stale) {
+      // Rebuilt queries sealed against the grown universe.
+      EXPECT_EQ(built->sealed[i].UniverseSize(),
+                static_cast<size_t>(grown_universe));
+    } else {
+      EXPECT_EQ(built->sealed[i].Cost(probe), before[i]) << "query " << i;
+      EXPECT_EQ(built->per_query[i].plan_cache_calls,
+                per_query_before[i].plan_cache_calls);
+      EXPECT_LT(built->sealed[i].UniverseSize(),
+                static_cast<size_t>(grown_universe));
+    }
+  }
+}
+
+TEST_F(IncrementalResealTest, UnknownNameIsInvalidArgument) {
+  CandidateSet set = fix_->set;
+  StatsCatalog stats = fix_->stats();
+  WorkloadCacheOptions opts;
+  WorkloadCacheBuilder builder(&fix_->catalog(), &set, &stats, opts);
+  auto built = builder.BuildAll(fix_->queries());
+  ASSERT_TRUE(built.ok());
+  const Status st =
+      builder.RebuildQueries({"no_such_query"}, fix_->queries(), &*built);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  WorkloadCacheResult truncated = std::move(*built);
+  truncated.sealed.pop_back();
+  const Status parallel_st =
+      builder.RebuildQueries({}, fix_->queries(), &truncated);
+  EXPECT_EQ(parallel_st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalResealMiniTest, ClassicModeDifferential) {
+  // The classic (one-call-per-IOC) builder exercises the store's
+  // per-candidate and fallback invalidation tiers; MiniStar keeps the
+  // IOC explosion affordable. Also runs serial (num_threads = 1) to pin
+  // the pool-free path.
+  MiniWorkloadFixture mini;
+  for (const uint64_t seed : {61u, 67u}) {
+    for (const size_t target : {size_t{1}, mini.queries.size()}) {
+      WorkloadCacheOptions opts;
+      opts.mode = CacheBuildMode::kClassic;
+      opts.num_threads = 1;
+      RunDifferentialCase(mini.mini.db.catalog(), mini.set,
+                          mini.mini.db.stats(), mini.queries, target, seed,
+                          opts);
+    }
+  }
+}
+
+TEST(IncrementalResealMiniTest, VaryQueryMixComposesWithUniqueNames) {
+  // Rounds compose: feeding one round's mix (clones included) into the
+  // next must never produce duplicate names — reseal targeting is
+  // name-keyed, so a collision would silently rebuild the wrong query.
+  MiniWorkloadFixture mini;
+  std::vector<Query> mix = mini.queries;
+  for (uint64_t round = 1; round <= 6; ++round) {
+    mix = VaryQueryMix(mix, round, /*min_keep=*/1);
+    ASSERT_FALSE(mix.empty());
+    std::set<std::string> names;
+    for (const Query& q : mix) {
+      EXPECT_TRUE(names.insert(q.name).second)
+          << "duplicate name '" << q.name << "' in round " << round;
+    }
+  }
+}
+
+TEST(IncrementalResealMiniTest, SharedStoreKeepsValidEntriesAcrossDrift) {
+  // The half of the reseal contract call counting can see: rebuilding a
+  // clone whose tables did NOT drift re-serves every access cost from
+  // the shared store (0 calls), while a drifted table's entries are
+  // gone and must be re-paid.
+  MiniWorkloadFixture mini;
+  std::vector<Query> repeated = {mini.queries[0], mini.queries[0]};
+  repeated[1].name = "clone";
+
+  WorkloadCacheOptions opts;
+  opts.num_threads = 1;
+  WorkloadCacheBuilder builder(&mini.mini.db.catalog(), &mini.set,
+                               &mini.mini.db.stats(), opts);
+  auto built = builder.BuildAll(repeated);
+  ASSERT_TRUE(built.ok());
+
+  // No drift: the rebuilt clone shares everything.
+  WorkloadCacheStats totals;
+  ASSERT_TRUE(
+      builder.RebuildQueries({"clone"}, repeated, &*built, &totals).ok());
+  EXPECT_EQ(totals.access_cost_calls, 0);
+  EXPECT_EQ(totals.access_calls_saved, 1);
+
+  // Drift d1 (the join query touches fact and d1): its entries are
+  // invalidated, so the rebuild re-pays the access call.
+  DriftTableStats(mini.mini.db.catalog(), mini.mini.d1, 2.0,
+                  &mini.mini.db.stats());
+  ASSERT_TRUE(
+      builder.RebuildQueries({"clone"}, repeated, &*built, &totals).ok());
+  EXPECT_GT(totals.access_cost_calls, 0);
+}
+
+}  // namespace
+}  // namespace pinum

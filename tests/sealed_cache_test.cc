@@ -15,55 +15,50 @@
 #include "inum/sealed_cache.h"
 #include "test_util.h"
 #include "whatif/candidate_set.h"
+#include "whatif/whatif_index.h"
 #include "workload/cache_manager.h"
 #include "workload/star_schema.h"
 
 namespace pinum {
 namespace {
 
-/// The paper's star-schema workload (statistics only, no data) with its
-/// full candidate universe, PINUM and classic caches — shared across the
-/// suite because cache construction is the expensive part.
+/// The shared star fixture (tests/test_util.h — the paper's workload
+/// capped at 5-way joins: the classic fixture build is one optimizer
+/// call per IOC and the 6/7-way queries alone have 384 + 960 IOCs,
+/// minutes under sanitizers for no added coverage) with PINUM and
+/// classic caches — shared across the suite because cache construction
+/// is the expensive part.
 class SealedCacheTest : public ::testing::Test {
  protected:
   struct Fixture {
-    StarSchemaWorkload workload;
-    CandidateSet set;
+    std::unique_ptr<StarFixture> star;
     WorkloadCacheResult pinum;
     WorkloadCacheResult classic;
+
+    const std::vector<Query>& queries() const { return star->queries(); }
+    const CandidateSet& set() const { return star->set; }
   };
   static Fixture* fix_;
 
   static void SetUpTestSuite() {
-    StarSchemaSpec spec;
-    // Paper schema and query generator, capped at 5-way joins: the
-    // classic fixture build is one optimizer call per IOC and the 6/7-way
-    // queries alone have 384 + 960 IOCs — minutes under sanitizers for no
-    // added coverage (slot shapes repeat from 4 tables up).
-    spec.query_sizes = {2, 3, 3, 4, 4, 5};
-    auto w = StarSchemaWorkload::Create(spec);
-    ASSERT_TRUE(w.ok());
-    CandidateOptions copt;
-    auto cands = GenerateCandidates(w->queries(), w->db().catalog(),
-                                    w->db().stats(), copt);
-    auto set = MakeCandidateSet(w->db().catalog(), cands);
-    ASSERT_TRUE(set.ok());
-    fix_ = new Fixture{std::move(*w), std::move(*set), {}, {}};
+    auto star = MakeStarFixture();
+    ASSERT_NE(star, nullptr);
+    fix_ = new Fixture{std::move(star), {}, {}};
 
     WorkloadCacheOptions popts;
-    auto pinum = WorkloadCacheBuilder(&fix_->workload.db().catalog(),
-                                      &fix_->set,
-                                      &fix_->workload.db().stats(), popts)
-                     .BuildAll(fix_->workload.queries());
+    auto pinum = WorkloadCacheBuilder(&fix_->star->catalog(),
+                                      &fix_->star->set,
+                                      &fix_->star->stats(), popts)
+                     .BuildAll(fix_->star->queries());
     ASSERT_TRUE(pinum.ok()) << pinum.status().ToString();
     fix_->pinum = std::move(*pinum);
 
     WorkloadCacheOptions copts;
     copts.mode = CacheBuildMode::kClassic;
-    auto classic = WorkloadCacheBuilder(&fix_->workload.db().catalog(),
-                                        &fix_->set,
-                                        &fix_->workload.db().stats(), copts)
-                       .BuildAll(fix_->workload.queries());
+    auto classic = WorkloadCacheBuilder(&fix_->star->catalog(),
+                                        &fix_->star->set,
+                                        &fix_->star->stats(), copts)
+                       .BuildAll(fix_->star->queries());
     ASSERT_TRUE(classic.ok()) << classic.status().ToString();
     fix_->classic = std::move(*classic);
   }
@@ -75,16 +70,12 @@ class SealedCacheTest : public ::testing::Test {
   /// Uniformly random subset of the candidate universe (not atomic: any
   /// number of indexes per table) with probability `p` per candidate.
   static IndexConfig RandomSubset(Rng* rng, double p) {
-    IndexConfig config;
-    for (IndexId id : fix_->set.candidate_ids) {
-      if (rng->Chance(p)) config.push_back(id);
-    }
-    return config;
+    return RandomSubsetConfig(fix_->star->set, rng, p);
   }
 
   static void ExpectIdentical(const WorkloadCacheResult& built,
                               uint64_t seed) {
-    const std::vector<Query>& queries = fix_->workload.queries();
+    const std::vector<Query>& queries = fix_->star->queries();
     Rng rng(seed);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const InumCache& cache = built.caches[qi];
@@ -94,7 +85,7 @@ class SealedCacheTest : public ::testing::Test {
       for (int trial = 0; trial < 30; ++trial) {
         IndexConfig config =
             trial % 2 == 0
-                ? RandomAtomicConfig(queries[qi], fix_->set, &rng)
+                ? RandomAtomicConfig(queries[qi], fix_->star->set, &rng)
                 : RandomSubset(&rng, rng.NextDouble() * 0.2);
         // Duplicate an id.
         if (!config.empty() && rng.Chance(0.5)) {
@@ -105,7 +96,7 @@ class SealedCacheTest : public ::testing::Test {
         // restricts to the query's tables only on even trials), ids past
         // the universe, and the invalid sentinel.
         if (rng.Chance(0.5)) {
-          config.push_back(fix_->set.NumIndexIds() + 100);
+          config.push_back(fix_->star->set.NumIndexIds() + 100);
         }
         if (rng.Chance(0.5)) config.push_back(kInvalidIndexId);
         EXPECT_EQ(sealed.Cost(config), cache.Cost(config))
@@ -126,8 +117,8 @@ class SealedCacheTest : public ::testing::Test {
   /// terms stay infeasible.
   static void ExpectDeltaIdentical(const WorkloadCacheResult& built,
                                    uint64_t seed) {
-    const std::vector<Query>& queries = fix_->workload.queries();
-    const IndexId universe = fix_->set.NumIndexIds();
+    const std::vector<Query>& queries = fix_->star->queries();
+    const IndexId universe = fix_->star->set.NumIndexIds();
     Rng rng(seed);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const SealedCache& sealed = built.sealed[qi];
@@ -136,7 +127,7 @@ class SealedCacheTest : public ::testing::Test {
         IndexConfig base;
         if (trial > 0) {
           base = trial % 2 == 1
-                     ? RandomAtomicConfig(queries[qi], fix_->set, &rng)
+                     ? RandomAtomicConfig(queries[qi], fix_->star->set, &rng)
                      : RandomSubset(&rng, rng.NextDouble() * 0.15);
           if (!base.empty() && rng.Chance(0.5)) {
             base.push_back(base[rng.Index(base.size())]);
@@ -148,7 +139,7 @@ class SealedCacheTest : public ::testing::Test {
         EXPECT_EQ(ctx.base_cost(), sealed.Cost(base))
             << "query " << qi << " trial " << trial;
 
-        std::vector<IndexId> extras = fix_->set.candidate_ids;
+        std::vector<IndexId> extras = fix_->star->set.candidate_ids;
         extras.push_back(universe + 3);
         extras.push_back(kInvalidIndexId);
         if (!base.empty()) extras.push_back(base[0]);
@@ -190,15 +181,15 @@ TEST_F(SealedCacheTest, SweepEntryPointsMatchSingleExtraCalls) {
   // must price exactly like per-id CostWithExtra calls — including
   // duplicate swept ids for the dense sweep.
   Rng rng(113);
-  const IndexId universe = fix_->set.NumIndexIds();
+  const IndexId universe = fix_->star->set.NumIndexIds();
   for (size_t qi = 0; qi < fix_->pinum.sealed.size(); ++qi) {
     const SealedCache& sealed = fix_->pinum.sealed[qi];
     const IndexConfig base =
-        RandomAtomicConfig(fix_->workload.queries()[qi], fix_->set, &rng);
+        RandomAtomicConfig(fix_->star->queries()[qi], fix_->star->set, &rng);
     SealedCache::CostContext ctx;
     sealed.PrepareContext(base, &ctx);
 
-    std::vector<IndexId> extras = fix_->set.candidate_ids;
+    std::vector<IndexId> extras = fix_->star->set.candidate_ids;
     extras.push_back(universe + 9);
     extras.push_back(kInvalidIndexId);
     extras.push_back(extras[0]);  // duplicate
@@ -244,7 +235,7 @@ TEST_F(SealedCacheTest, ContextExtensionMatchesFreshPreparation) {
     IndexConfig config;
     for (int step = 0; step < 6; ++step) {
       const IndexId id =
-          fix_->set.candidate_ids[rng.Index(fix_->set.candidate_ids.size())];
+          fix_->star->set.candidate_ids[rng.Index(fix_->star->set.candidate_ids.size())];
       config.push_back(id);
       sealed.ExtendContext(&grown, id);
       EXPECT_EQ(grown.base_cost(), sealed.Cost(config))
@@ -253,9 +244,8 @@ TEST_F(SealedCacheTest, ContextExtensionMatchesFreshPreparation) {
       sealed.PrepareContext(config, &fresh);
       EXPECT_EQ(grown.base_cost(), fresh.base_cost());
       for (int probe = 0; probe < 8; ++probe) {
-        const IndexId extra =
-            fix_->set
-                .candidate_ids[rng.Index(fix_->set.candidate_ids.size())];
+        const IndexId extra = fix_->star->set.candidate_ids[rng.Index(
+            fix_->star->set.candidate_ids.size())];
         EXPECT_EQ(sealed.CostWithExtra(&grown, extra),
                   sealed.CostWithExtra(&fresh, extra))
             << "query " << qi << " step " << step << " extra " << extra;
@@ -305,16 +295,72 @@ TEST_F(SealedCacheTest, AdvisorDeltaPathMatchesBatchedPath) {
     batched.cost_path = AdvisorCostPath::kBatched;
     AdvisorOptions delta = variants[v];
     delta.cost_path = AdvisorCostPath::kDelta;
-    const AdvisorResult b = RunGreedyAdvisor(evaluator, fix_->set, batched);
-    const AdvisorResult d = RunGreedyAdvisor(evaluator, fix_->set, delta);
+    const AdvisorResult b = RunGreedyAdvisor(evaluator, fix_->star->set, batched);
+    const AdvisorResult d = RunGreedyAdvisor(evaluator, fix_->star->set, delta);
     SCOPED_TRACE("variant " + std::to_string(v));
     ExpectSameAdvisorResult(b, d);
     EXPECT_FALSE(b.chosen.empty());
 
     ThreadPool pool(0);
     const WorkloadCostEvaluator pooled(&fix_->pinum.sealed, &pool);
-    const AdvisorResult dp = RunGreedyAdvisor(pooled, fix_->set, delta);
+    const AdvisorResult dp = RunGreedyAdvisor(pooled, fix_->star->set, delta);
     ExpectSameAdvisorResult(b, dp);
+  }
+}
+
+TEST_F(SealedCacheTest, GrownUniverseIdsPriceAtBaseOnOldSeal) {
+  // Incremental reseal's serving contract: after append-only universe
+  // growth, an *old* sealed cache (narrower universe) must price the
+  // appended ids exactly as a reseal over the wider universe would —
+  // at their base cost, since the build-time cache never saw their
+  // access costs — so un-resealed queries keep serving bit-identically.
+  CandidateSet grown = fix_->star->set;
+  const TableDef* fact =
+      grown.universe.FindTable(fix_->star->workload.fact_table());
+  ASSERT_NE(fact, nullptr);
+  auto added = grown.Append(
+      {MakeWhatIfIndex("growth_a", *fact, {0}, 1000),
+       MakeWhatIfIndex("growth_b", *fact, {1, 2}, 1000)});
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_GT(grown.NumIndexIds(), fix_->star->set.NumIndexIds());
+
+  Rng rng(131);
+  for (size_t qi = 0; qi < fix_->pinum.sealed.size(); ++qi) {
+    const SealedCache& narrow = fix_->pinum.sealed[qi];
+    const SealedCache wide =
+        SealedCache::Seal(fix_->pinum.caches[qi], grown.NumIndexIds());
+    EXPECT_EQ(narrow.UniverseSize(),
+              static_cast<size_t>(fix_->star->set.NumIndexIds()));
+    EXPECT_EQ(wide.UniverseSize(), static_cast<size_t>(grown.NumIndexIds()));
+
+    for (int trial = 0; trial < 10; ++trial) {
+      IndexConfig config = RandomSubset(&rng, rng.NextDouble() * 0.15);
+      const double without = narrow.Cost(config);
+      IndexConfig with = config;
+      for (IndexId id : *added) {
+        if (rng.Chance(0.7)) with.push_back(id);
+      }
+      // New ids price as absent on the narrow seal and at base on the
+      // wide one — the same bits either way.
+      EXPECT_EQ(narrow.Cost(with), without) << "query " << qi;
+      EXPECT_EQ(wide.Cost(with), without) << "query " << qi;
+      EXPECT_EQ(wide.Cost(config), without) << "query " << qi;
+    }
+
+    // The delta path agrees: an appended id short-circuits to the base
+    // cost on the narrow seal and overlays empty postings on the wide
+    // one.
+    SealedCache::CostContext narrow_ctx;
+    SealedCache::CostContext wide_ctx;
+    const IndexConfig base = RandomSubset(&rng, 0.1);
+    narrow.PrepareContext(base, &narrow_ctx);
+    wide.PrepareContext(base, &wide_ctx);
+    EXPECT_EQ(narrow_ctx.base_cost(), wide_ctx.base_cost());
+    for (IndexId id : *added) {
+      EXPECT_EQ(narrow.CostWithExtra(&narrow_ctx, id),
+                narrow_ctx.base_cost());
+      EXPECT_EQ(wide.CostWithExtra(&wide_ctx, id), wide_ctx.base_cost());
+    }
   }
 }
 

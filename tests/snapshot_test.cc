@@ -1,9 +1,13 @@
 // Snapshot persistence: a save→load round trip must hand back caches
 // that answer every cost question bit-identically to the sealed
 // originals (infinity sentinels included), and every failure path —
-// missing file, truncation, bad magic, future format version, payload
-// corruption, epoch mismatch — must return its own distinct Status
-// instead of crashing or serving wrong costs.
+// missing file, truncation, bad magic, old/future format version,
+// payload corruption, incompatible epoch — must return its own distinct
+// Status instead of crashing or serving wrong costs. v2 epoch
+// semantics: statistics drift and append-only universe growth do NOT
+// reject the load — they surface as per-query staleness (the
+// incremental-reseal restart path) — while any non-prefix universe
+// mutation or base-schema change is still kFailedPrecondition.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -18,7 +22,9 @@
 #include "inum/snapshot.h"
 #include "test_util.h"
 #include "whatif/candidate_set.h"
+#include "whatif/whatif_index.h"
 #include "workload/cache_manager.h"
+#include "workload/drift.h"
 #include "workload/star_schema.h"
 
 namespace pinum {
@@ -37,50 +43,45 @@ void WriteFile(const std::string& path, const std::string& bytes) {
   ASSERT_TRUE(out.good()) << path;
 }
 
-/// The paper's star-schema workload (capped at 5-way joins, like the
-/// sealed-cache suite: larger joins add minutes under sanitizers but no
-/// new slot shapes), its candidate universe, one PINUM build, and a
-/// snapshot of it on disk — shared across the suite because the build is
-/// the expensive part.
+/// The shared star fixture (tests/test_util.h — capped at 5-way joins,
+/// like the sealed-cache suite) plus one PINUM build and a snapshot of
+/// it on disk — shared across the suite because the build is the
+/// expensive part.
 class SnapshotTest : public ::testing::Test {
  protected:
   struct Fixture {
-    StarSchemaWorkload workload;
-    CandidateSet set;
+    std::unique_ptr<StarFixture> star;
     /// Pointer because the builder (with its thread pool) is neither
     /// copyable nor movable.
     std::unique_ptr<WorkloadCacheBuilder> builder;
     WorkloadCacheResult built;
     std::string path;
 
-    WorkloadCacheBuilder& Builder() { return *builder; }
+    const StarSchemaWorkload& workload() const { return star->workload; }
+    const CandidateSet& set() const { return star->set; }
   };
   static Fixture* fix_;
 
   static void SetUpTestSuite() {
-    StarSchemaSpec spec;
-    spec.query_sizes = {2, 3, 3, 4, 4, 5};
-    auto w = StarSchemaWorkload::Create(spec);
-    ASSERT_TRUE(w.ok());
-    CandidateOptions copt;
-    auto cands = GenerateCandidates(w->queries(), w->db().catalog(),
-                                    w->db().stats(), copt);
-    auto set = MakeCandidateSet(w->db().catalog(), cands);
-    ASSERT_TRUE(set.ok());
-    fix_ = new Fixture{std::move(*w),
-                       std::move(*set),
+    auto star = MakeStarFixture();
+    ASSERT_NE(star, nullptr);
+    fix_ = new Fixture{std::move(star),
                        nullptr,
                        {},
                        ::testing::TempDir() + "pinum_snapshot_test.snap"};
     fix_->builder = std::make_unique<WorkloadCacheBuilder>(
-        &fix_->workload.db().catalog(), &fix_->set,
-        &fix_->workload.db().stats());
-    auto built = fix_->builder->BuildAll(fix_->workload.queries());
+        &fix_->star->catalog(), &fix_->star->set, &fix_->star->stats());
+    auto built = fix_->builder->BuildAll(fix_->star->queries());
     ASSERT_TRUE(built.ok()) << built.status().ToString();
     fix_->built = std::move(*built);
+    SnapshotSaveStats save_stats;
     Status st = fix_->builder->SaveSnapshot(fix_->path, fix_->built,
-                                            fix_->workload.queries());
+                                            fix_->star->queries(),
+                                            &save_stats);
     ASSERT_TRUE(st.ok()) << st.ToString();
+    // First save at this path: nothing to patch from.
+    ASSERT_EQ(save_stats.caches_encoded, fix_->star->queries().size());
+    ASSERT_EQ(save_stats.caches_patched, 0u);
   }
   static void TearDownTestSuite() {
     std::remove(fix_->path.c_str());
@@ -101,14 +102,20 @@ SnapshotTest::Fixture* SnapshotTest::fix_ = nullptr;
 TEST_F(SnapshotTest, RoundTripCostBitIdentical) {
   auto loaded = fix_->builder->LoadSnapshot(fix_->path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  const std::vector<Query>& queries = fix_->workload.queries();
+  const std::vector<Query>& queries = fix_->star->queries();
   ASSERT_EQ(loaded->sealed.size(), queries.size());
   ASSERT_EQ(loaded->query_names.size(), queries.size());
-  const IndexId universe = fix_->set.NumIndexIds();
+  ASSERT_EQ(loaded->query_stamps.size(), queries.size());
+  const IndexId universe = fix_->star->set.NumIndexIds();
+  EXPECT_EQ(loaded->universe, universe);
 
   Rng rng(211);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     EXPECT_EQ(loaded->query_names[qi], queries[qi].name);
+    // Stored stamps are the live ones (nothing drifted), so nothing is
+    // stale.
+    EXPECT_EQ(loaded->query_stamps[qi],
+              fix_->builder->QueryStamp(queries[qi]));
     const SealedCache& original = fix_->built.sealed[qi];
     const SealedCache& restored = loaded->sealed[qi];
     // Structure round-trips exactly, derived posting ids included.
@@ -124,7 +131,7 @@ TEST_F(SnapshotTest, RoundTripCostBitIdentical) {
     EXPECT_EQ(restored.Cost({}), original.Cost({})) << "query " << qi;
     for (int trial = 0; trial < 20; ++trial) {
       IndexConfig config =
-          RandomAtomicConfig(queries[qi], fix_->set, &rng);
+          RandomAtomicConfig(queries[qi], fix_->star->set, &rng);
       if (!config.empty() && rng.Chance(0.5)) {
         config.push_back(config[rng.Index(config.size())]);
       }
@@ -138,11 +145,11 @@ TEST_F(SnapshotTest, RoundTripCostBitIdentical) {
     SealedCache::CostContext restored_ctx;
     SealedCache::CostContext original_ctx;
     const IndexConfig base =
-        RandomAtomicConfig(queries[qi], fix_->set, &rng);
+        RandomAtomicConfig(queries[qi], fix_->star->set, &rng);
     restored.PrepareContext(base, &restored_ctx);
     original.PrepareContext(base, &original_ctx);
     EXPECT_EQ(restored_ctx.base_cost(), original_ctx.base_cost());
-    for (IndexId extra : fix_->set.candidate_ids) {
+    for (IndexId extra : fix_->star->set.candidate_ids) {
       EXPECT_EQ(restored.CostWithExtra(&restored_ctx, extra),
                 original.CostWithExtra(&original_ctx, extra))
           << "query " << qi << " extra " << extra;
@@ -158,9 +165,9 @@ TEST_F(SnapshotTest, AdvisorOutputBitIdenticalFromRestoredCaches) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   AdvisorOptions opts;
   const AdvisorResult fresh =
-      RunGreedyAdvisor(fix_->built.sealed, fix_->set, opts);
+      RunGreedyAdvisor(fix_->built.sealed, fix_->star->set, opts);
   const AdvisorResult restored =
-      RunGreedyAdvisor(loaded->sealed, fix_->set, opts);
+      RunGreedyAdvisor(loaded->sealed, fix_->star->set, opts);
   ExpectSameAdvisorResult(fresh, restored);
   EXPECT_FALSE(fresh.chosen.empty());
 }
@@ -168,11 +175,13 @@ TEST_F(SnapshotTest, AdvisorOutputBitIdenticalFromRestoredCaches) {
 TEST_F(SnapshotTest, ReadSnapshotEpochMatchesLiveEpoch) {
   auto stored = ReadSnapshotEpoch(fix_->path);
   ASSERT_TRUE(stored.ok()) << stored.status().ToString();
-  const SnapshotEpoch live = ComputeSnapshotEpoch(
-      fix_->set, fix_->workload.db().stats());
+  const SnapshotEpoch live = ComputeSnapshotEpoch(fix_->star->set);
   EXPECT_TRUE(*stored == live);
-  EXPECT_EQ(stored->universe, fix_->set.NumIndexIds());
-  EXPECT_EQ(stored->candidate_ids, fix_->set.candidate_ids);
+  EXPECT_EQ(stored->universe, fix_->star->set.NumIndexIds());
+  EXPECT_EQ(stored->candidate_ids, fix_->star->set.candidate_ids);
+  // The live chain's final entry is the persisted prefix hash.
+  ASSERT_EQ(live.prefix_chain.size(), live.candidate_ids.size() + 1);
+  EXPECT_EQ(stored->universe_prefix_hash, live.prefix_chain.back());
 }
 
 TEST_F(SnapshotTest, MissingFileIsNotFound) {
@@ -244,62 +253,261 @@ TEST_F(SnapshotTest, PayloadCorruptionIsInternal) {
   std::remove(path.c_str());
 }
 
-TEST_F(SnapshotTest, StatsEpochMismatchIsFailedPrecondition) {
-  // The same snapshot against a world whose statistics drifted (one
-  // table re-ANALYZEd to a different row count) must be rejected loudly:
-  // its cached costs were derived from the old stats.
-  StatsCatalog drifted;
-  for (const auto& [table, stats] : fix_->workload.db().stats().all()) {
-    TableStats copy = stats;
-    if (table == fix_->workload.fact_table()) {
-      copy.row_count += 1;
-    }
-    drifted.Put(table, std::move(copy));
+TEST_F(SnapshotTest, StatsDriftLoadsAndReportsStaleQueries) {
+  // v2 semantics: statistics drift no longer rejects the load — the
+  // epoch binds the universe, not the stats — it surfaces as per-query
+  // staleness. Drift one dimension table's row count: the load
+  // succeeds, and StaleQueries names exactly the queries touching that
+  // table (the set RebuildQueries would be handed).
+  StatsCatalog drifted = fix_->star->stats();
+  // The last dimension table: drifting fact would stale everything.
+  const TableId victim = fix_->star->workload.tables().back();
+  DriftTableStats(fix_->star->catalog(), victim, 2.0, &drifted);
+
+  WorkloadCacheBuilder drifted_builder(&fix_->star->catalog(),
+                                       &fix_->star->set, &drifted);
+  auto loaded = drifted_builder.LoadSnapshot(fix_->path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const std::vector<Query>& queries = fix_->star->queries();
+  const std::vector<size_t> stale =
+      drifted_builder.StaleQueries(*loaded, queries);
+  const std::vector<std::string> want =
+      QueriesTouchingTables(queries, {victim});
+  std::vector<std::string> got;
+  for (size_t i : stale) got.push_back(queries[i].name);
+  EXPECT_EQ(got, want);
+  // Against the unchanged world the same snapshot reports nothing
+  // stale.
+  EXPECT_TRUE(fix_->builder->StaleQueries(*loaded, queries).empty());
+}
+
+TEST_F(SnapshotTest, GrownUniverseLoadsAsPrefixAndStalesTouchedQueries) {
+  // v2 semantics: append-only growth keeps the snapshot loadable — the
+  // stored vocabulary is a strict prefix of the live one, every stored
+  // subscript still means the same index — and queries touching the new
+  // candidate's table come back stale (their keep-all access answer now
+  // has one more index to see).
+  CandidateSet grown = fix_->star->set;
+  const TableDef* fact =
+      grown.universe.FindTable(fix_->star->workload.fact_table());
+  ASSERT_NE(fact, nullptr);
+  auto added = grown.Append(
+      {MakeWhatIfIndex("snapshot_test_extra", *fact, {0}, 1000)});
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+
+  WorkloadCacheBuilder grown_builder(&fix_->star->catalog(), &grown,
+                                     &fix_->star->stats());
+  auto loaded = grown_builder.LoadSnapshot(fix_->path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->universe, fix_->star->set.NumIndexIds());
+  EXPECT_LT(loaded->universe, grown.NumIndexIds());
+
+  const std::vector<Query>& queries = fix_->star->queries();
+  const std::vector<size_t> stale =
+      grown_builder.StaleQueries(*loaded, queries);
+  std::vector<std::string> got;
+  for (size_t i : stale) got.push_back(queries[i].name);
+  EXPECT_EQ(got, QueriesTouchingTables(
+                     queries, {fix_->star->workload.fact_table()}));
+  // Restored caches for fresh queries keep serving: sampled costs agree
+  // with the fixture build (the new id prices at base on both sides).
+  Rng rng(401);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    IndexConfig config = RandomAtomicConfig(queries[qi], fix_->star->set, &rng);
+    EXPECT_EQ(loaded->sealed[qi].Cost(config),
+              fix_->built.sealed[qi].Cost(config));
+    config.push_back(added->front());
+    EXPECT_EQ(loaded->sealed[qi].Cost(config),
+              fix_->built.sealed[qi].Cost(config));
   }
-  auto loaded = LoadSnapshot(
-      fix_->path, ComputeSnapshotEpoch(fix_->set, drifted));
+}
+
+TEST_F(SnapshotTest, ShrunkUniverseIsFailedPrecondition) {
+  // The reverse direction must still reject: a live universe with FEWER
+  // candidates than the snapshot (a drop is not append-only) leaves
+  // stored subscripts pointing at nothing.
+  const Catalog& base = fix_->star->catalog();
+  std::vector<IndexDef> fewer;
+  for (size_t i = 0; i + 1 < fix_->star->set.candidate_ids.size(); ++i) {
+    fewer.push_back(
+        *fix_->star->set.universe.FindIndex(fix_->star->set.candidate_ids[i]));
+  }
+  auto shrunk = MakeCandidateSet(base, fewer);
+  ASSERT_TRUE(shrunk.ok());
+  auto loaded = LoadSnapshot(fix_->path, ComputeSnapshotEpoch(*shrunk));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(loaded.status().message().find("statistics"), std::string::npos)
+  EXPECT_NE(loaded.status().message().find("prefix"), std::string::npos)
       << loaded.status().ToString();
 }
 
-TEST_F(SnapshotTest, CatalogEpochMismatchIsFailedPrecondition) {
-  // A universe with one more candidate index is a different id
-  // vocabulary: the sealed vectors' subscripts no longer mean the same
-  // indexes, so the snapshot must not load.
-  const Catalog& base = fix_->workload.db().catalog();
+TEST_F(SnapshotTest, BaseSchemaDriftIsFailedPrecondition) {
+  // A base-catalog change (here: a new real table) is not expressible
+  // as per-query staleness — the world the universe is layered onto
+  // moved — so the load must reject even though candidates are intact.
+  Catalog changed = fix_->star->catalog();
+  TableDef extra_table;
+  extra_table.name = "snapshot_test_new_table";
+  extra_table.columns.push_back({"id", TypeId::kInt64});
+  ASSERT_TRUE(changed.AddTable(extra_table).ok());
   std::vector<IndexDef> candidates;
-  for (IndexId id : fix_->set.candidate_ids) {
-    candidates.push_back(*fix_->set.universe.FindIndex(id));
+  for (IndexId id : fix_->star->set.candidate_ids) {
+    candidates.push_back(*fix_->star->set.universe.FindIndex(id));
   }
-  IndexDef extra;
-  extra.name = "snapshot_test_extra";
-  extra.table = fix_->workload.fact_table();
-  extra.key_columns = {0};
-  candidates.push_back(extra);
-  auto grown = MakeCandidateSet(base, candidates);
-  ASSERT_TRUE(grown.ok());
-  auto loaded = LoadSnapshot(
-      fix_->path, ComputeSnapshotEpoch(*grown, fix_->workload.db().stats()));
+  auto rebased = MakeCandidateSet(changed, candidates);
+  ASSERT_TRUE(rebased.ok());
+  auto loaded = LoadSnapshot(fix_->path, ComputeSnapshotEpoch(*rebased));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("schema"), std::string::npos)
+      << loaded.status().ToString();
 }
 
 TEST_F(SnapshotTest, CandidateVocabularyDriftIsFailedPrecondition) {
   // Same universe size, same candidate count, different id assignment
-  // (candidates regenerated in another order): the generic "N ids vs M
-  // ids" message would read identically on both sides, so this path
-  // must say the vocabulary itself changed.
-  SnapshotEpoch permuted =
-      ComputeSnapshotEpoch(fix_->set, fix_->workload.db().stats());
+  // (candidates regenerated in another order): not a prefix of the live
+  // vocabulary, so the sealed subscripts cannot be trusted.
+  SnapshotEpoch permuted = ComputeSnapshotEpoch(fix_->star->set);
   ASSERT_GE(permuted.candidate_ids.size(), 2u);
   std::swap(permuted.candidate_ids[0], permuted.candidate_ids[1]);
   auto loaded = LoadSnapshot(fix_->path, permuted);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(loaded.status().message().find("vocabulary"), std::string::npos)
+  EXPECT_NE(loaded.status().message().find("prefix"), std::string::npos)
       << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, IncrementalSavePatchesOnlyResealedSections) {
+  // The incremental-reseal save path: after drifting and resealing k
+  // queries, re-saving over the old snapshot re-encodes exactly those k
+  // records and splices the other N-k verbatim — and the patched file
+  // is byte-identical to a from-scratch save of the same state.
+  const std::vector<Query>& queries = fix_->star->queries();
+  CandidateSet set = fix_->star->set;
+  StatsCatalog stats = fix_->star->stats();
+  WorkloadCacheBuilder builder(&fix_->star->catalog(), &set, &stats);
+  auto built = builder.BuildAll(queries);
+  ASSERT_TRUE(built.ok());
+
+  const std::string patched_path = TempPath("patched.snap");
+  SnapshotSaveStats first;
+  ASSERT_TRUE(
+      builder.SaveSnapshot(patched_path, *built, queries, &first).ok());
+  EXPECT_EQ(first.caches_encoded, queries.size());
+  EXPECT_EQ(first.caches_patched, 0u);
+
+  auto drift = ApplyDrift(queries, &set, &stats, 1, 503);
+  ASSERT_TRUE(drift.ok());
+  const size_t k = drift->stale_queries.size();
+  ASSERT_GT(k, 0u);
+  ASSERT_LT(k, queries.size());
+  ASSERT_TRUE(
+      builder.RebuildQueries(drift->stale_queries, queries, &*built).ok());
+
+  SnapshotSaveStats second;
+  ASSERT_TRUE(
+      builder.SaveSnapshot(patched_path, *built, queries, &second).ok());
+  EXPECT_EQ(second.caches_encoded, k);
+  EXPECT_EQ(second.caches_patched, queries.size() - k);
+
+  const std::string fresh_path = TempPath("fresh.snap");
+  SnapshotSaveStats fresh;
+  ASSERT_TRUE(
+      builder.SaveSnapshot(fresh_path, *built, queries, &fresh).ok());
+  EXPECT_EQ(fresh.caches_encoded, queries.size());
+  EXPECT_EQ(ReadFile(patched_path), ReadFile(fresh_path));
+
+  // And the patched file round-trips into the resealed serving state.
+  auto loaded = builder.LoadSnapshot(patched_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(builder.StaleQueries(*loaded, queries).empty());
+  Rng rng(509);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const IndexConfig config = RandomAtomicConfig(queries[qi], set, &rng);
+    EXPECT_EQ(loaded->sealed[qi].Cost(config), built->sealed[qi].Cost(config))
+        << "query " << qi;
+  }
+  std::remove(patched_path.c_str());
+  std::remove(fresh_path.c_str());
+}
+
+TEST_F(SnapshotTest, DriftBetweenBuildAndSaveStillReadsAsStale) {
+  // Stamps are captured at build time and carried in the result — NOT
+  // recomputed at save time. A drift landing after the build but before
+  // the save must therefore still surface as staleness on reload;
+  // save-time recomputation would stamp pre-drift caches with the
+  // post-drift world and mask the drift forever.
+  const std::vector<Query>& queries = fix_->star->queries();
+  CandidateSet set = fix_->star->set;
+  StatsCatalog stats = fix_->star->stats();
+  WorkloadCacheBuilder builder(&fix_->star->catalog(), &set, &stats);
+  auto built = builder.BuildAll(queries);
+  ASSERT_TRUE(built.ok());
+
+  const TableId victim = fix_->star->workload.tables().back();
+  DriftTableStats(fix_->star->catalog(), victim, 2.0, &stats);
+
+  const std::string path = TempPath("late_drift.snap");
+  ASSERT_TRUE(builder.SaveSnapshot(path, *built, queries).ok());
+  auto loaded = builder.LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::vector<std::string> got;
+  for (size_t i : builder.StaleQueries(*loaded, queries)) {
+    got.push_back(queries[i].name);
+  }
+  EXPECT_EQ(got, QueriesTouchingTables(queries, {victim}));
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, GrowthReEncodesWidenedRecordsOnSave) {
+  // The splice key includes the sealed universe bound: after an append
+  // plus a cold rebuild, even never-stale queries' caches widened, so
+  // their old (narrower) records must be re-encoded, keeping the
+  // patched file byte-identical to a from-scratch save.
+  const std::vector<Query>& queries = fix_->star->queries();
+  CandidateSet set = fix_->star->set;
+  StatsCatalog stats = fix_->star->stats();
+  WorkloadCacheBuilder builder(&fix_->star->catalog(), &set, &stats);
+  auto built = builder.BuildAll(queries);
+  ASSERT_TRUE(built.ok());
+  const std::string path = TempPath("growth_patch.snap");
+  ASSERT_TRUE(builder.SaveSnapshot(path, *built, queries).ok());
+
+  const TableDef* fact =
+      set.universe.FindTable(fix_->star->workload.fact_table());
+  ASSERT_TRUE(
+      set.Append({MakeWhatIfIndex("growth_patch_extra", *fact, {0}, 1000)})
+          .ok());
+  auto cold = builder.BuildAll(queries);
+  ASSERT_TRUE(cold.ok());
+
+  SnapshotSaveStats save_stats;
+  ASSERT_TRUE(
+      builder.SaveSnapshot(path, *cold, queries, &save_stats).ok());
+  EXPECT_EQ(save_stats.caches_patched, 0u);
+  EXPECT_EQ(save_stats.caches_encoded, queries.size());
+
+  const std::string fresh_path = TempPath("growth_fresh.snap");
+  ASSERT_TRUE(builder.SaveSnapshot(fresh_path, *cold, queries).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(fresh_path));
+  std::remove(path.c_str());
+  std::remove(fresh_path.c_str());
+}
+
+TEST_F(SnapshotTest, OldFormatVersionIsUnimplemented) {
+  // A v1 file (global epoch, no per-query stamps) has nothing safely
+  // reusable; it must be rejected on the version field, loudly and
+  // distinctly.
+  std::string bytes = SnapshotBytes();
+  const uint32_t old_version = 1;
+  std::memcpy(bytes.data() + 12, &old_version, sizeof(old_version));
+  const std::string path = TempPath("v1.snap");
+  WriteFile(path, bytes);
+  auto loaded = fix_->builder->LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnimplemented);
+  std::remove(path.c_str());
 }
 
 TEST_F(SnapshotTest, CraftedHugeCountIsRejectedWithoutAllocating) {
@@ -342,15 +550,14 @@ TEST_F(SnapshotTest, IndexSizeDriftIsFailedPrecondition) {
   // estimate changed (stats drift reflected into the what-if sizer):
   // the advisor prices bytes from IndexDef sizes, so this is an epoch
   // change even though the id vocabulary is identical.
-  CandidateSet resized = fix_->set;
+  CandidateSet resized = fix_->star->set;
   IndexDef* def = resized.universe.MutableIndex(resized.candidate_ids[0]);
   ASSERT_NE(def, nullptr);
   def->leaf_pages += 1;
-  auto loaded = LoadSnapshot(
-      fix_->path, ComputeSnapshotEpoch(resized, fix_->workload.db().stats()));
+  auto loaded = LoadSnapshot(fix_->path, ComputeSnapshotEpoch(resized));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(loaded.status().message().find("schema"), std::string::npos)
+  EXPECT_NE(loaded.status().message().find("candidate"), std::string::npos)
       << loaded.status().ToString();
 }
 
@@ -359,9 +566,8 @@ TEST(SnapshotUnitTest, EmptyWorkloadRoundTrips) {
   // epoch, and empty sections must round-trip.
   const std::string path = ::testing::TempDir() + "empty.snap";
   SnapshotEpoch epoch;
-  epoch.schema_hash = 7;
-  epoch.stats_hash = 9;
-  Status st = SaveSnapshot(path, {}, {}, epoch);
+  epoch.base_schema_hash = 7;
+  Status st = SaveSnapshot(path, {}, {}, {}, epoch);
   ASSERT_TRUE(st.ok()) << st.ToString();
   auto loaded = LoadSnapshot(path, epoch);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -375,7 +581,8 @@ TEST(SnapshotUnitTest, DefaultSealedCacheRoundTrips) {
   // unbuildable query would pin; it must survive the trip too.
   const std::string path = ::testing::TempDir() + "default.snap";
   std::vector<SealedCache> caches(2);
-  Status st = SaveSnapshot(path, {"a", "b"}, caches, SnapshotEpoch{});
+  Status st = SaveSnapshot(path, {"a", "b"}, {21, 22}, caches,
+                           SnapshotEpoch{});
   ASSERT_TRUE(st.ok()) << st.ToString();
   auto loaded = LoadSnapshot(path, SnapshotEpoch{});
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -383,7 +590,16 @@ TEST(SnapshotUnitTest, DefaultSealedCacheRoundTrips) {
   EXPECT_EQ(loaded->sealed[0].Cost({}), kInfiniteCost);
   EXPECT_EQ(loaded->sealed[0].Cost({1, 2}), kInfiniteCost);
   EXPECT_EQ(loaded->query_names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(loaded->query_stamps, (std::vector<uint64_t>{21, 22}));
   std::remove(path.c_str());
+}
+
+TEST(SnapshotUnitTest, MismatchedStampVectorIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "bad_parallel.snap";
+  std::vector<SealedCache> caches(2);
+  const Status st =
+      SaveSnapshot(path, {"a", "b"}, {21}, caches, SnapshotEpoch{});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

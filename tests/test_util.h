@@ -1,5 +1,8 @@
 // Shared test fixtures: a miniature star schema (fact + two dimensions)
-// with synthetic statistics, plus helpers to materialize it.
+// with synthetic statistics and helpers to materialize it, the paper's
+// star-schema workload + candidate universe (the expensive fixture the
+// serving suites share), and seeded drift wrappers for the differential
+// reseal suite.
 #ifndef PINUM_TESTS_TEST_UTIL_H_
 #define PINUM_TESTS_TEST_UTIL_H_
 
@@ -8,8 +11,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "advisor/candidate_generator.h"
 #include "advisor/greedy_advisor.h"
 #include "common/rng.h"
 #include "inum/access_cost_table.h"
@@ -17,6 +22,8 @@
 #include "stats/table_stats.h"
 #include "storage/database.h"
 #include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
+#include "workload/star_schema.h"
 
 namespace pinum {
 
@@ -56,6 +63,48 @@ inline IndexConfig RandomAtomicConfig(const Query& q, const CandidateSet& set,
   for (auto& [table, ids] : per_table) {
     (void)table;
     if (rng->Chance(p_fill)) config.push_back(ids[rng->Index(ids.size())]);
+  }
+  return config;
+}
+
+/// The paper's star-schema workload capped at 5-way joins (6/7-way
+/// queries add minutes under sanitizers but no new slot shapes) with
+/// its generated candidate universe — the expensive setup previously
+/// hand-rolled by snapshot_test, sealed_cache_test, and now shared with
+/// the incremental-reseal suite. Returns nullptr on failure; callers
+/// ASSERT at SetUpTestSuite time.
+struct StarFixture {
+  StarSchemaWorkload workload;
+  CandidateSet set;
+
+  const std::vector<Query>& queries() const { return workload.queries(); }
+  const Catalog& catalog() const { return workload.db().catalog(); }
+  const StatsCatalog& stats() const { return workload.db().stats(); }
+};
+
+inline std::unique_ptr<StarFixture> MakeStarFixture(
+    std::vector<int> query_sizes = {2, 3, 3, 4, 4, 5}) {
+  StarSchemaSpec spec;
+  spec.query_sizes = std::move(query_sizes);
+  auto w = StarSchemaWorkload::Create(spec);
+  if (!w.ok()) return nullptr;
+  CandidateOptions copt;
+  auto cands = GenerateCandidates(w->queries(), w->db().catalog(),
+                                  w->db().stats(), copt);
+  auto set = MakeCandidateSet(w->db().catalog(), cands);
+  if (!set.ok()) return nullptr;
+  return std::unique_ptr<StarFixture>(
+      new StarFixture{std::move(*w), std::move(*set)});
+}
+
+/// Uniformly random subset of `set`'s candidates (any number of indexes
+/// per table) with probability `p` per candidate — the non-atomic
+/// sampling the sealed-cache and reseal equivalence suites mix in.
+inline IndexConfig RandomSubsetConfig(const CandidateSet& set, Rng* rng,
+                                      double p) {
+  IndexConfig config;
+  for (IndexId id : set.candidate_ids) {
+    if (rng->Chance(p)) config.push_back(id);
   }
   return config;
 }
@@ -197,6 +246,32 @@ class MiniStar {
  private:
   double dim_rows_;
   Value payload_max_;
+};
+
+/// MiniStar plus its two-query workload and candidate universe — the
+/// fast build fixture WorkloadCacheTest and the classic-mode
+/// differential reseal case share (previously hand-rolled per suite).
+struct MiniWorkloadFixture {
+  MiniWorkloadFixture() {
+    queries = {mini.JoinQuery(), mini.ThreeWayQuery()};
+    CandidateOptions copt;
+    auto cands = GenerateCandidates(queries, mini.db.catalog(),
+                                    mini.db.stats(), copt);
+    set = *MakeCandidateSet(mini.db.catalog(), cands);
+  }
+
+  /// Builds the workload with `opts` (EXPECTs success).
+  WorkloadCacheResult Build(WorkloadCacheOptions opts) {
+    WorkloadCacheBuilder builder(&mini.db.catalog(), &set, &mini.db.stats(),
+                                 opts);
+    auto result = builder.BuildAll(queries);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+
+  MiniStar mini;
+  std::vector<Query> queries;
+  CandidateSet set;
 };
 
 }  // namespace pinum

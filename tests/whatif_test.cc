@@ -98,5 +98,61 @@ TEST(WhatIfCatalogTest, DuplicateCandidateNamesRejected) {
   EXPECT_FALSE(set.ok());
 }
 
+TEST(WhatIfCatalogTest, AppendKeepsExistingIdsStable) {
+  // The append-only growth contract incremental reseal stands on: an
+  // Append assigns fresh ids strictly above every existing one and
+  // leaves the candidate-id prefix, base ids, and the old NumIndexIds
+  // bound untouched — old sealed vectors' subscripts stay meaningful.
+  MiniStar mini;
+  const TableDef* d1 = mini.db.catalog().FindTable(mini.d1);
+  const TableDef* fact = mini.db.catalog().FindTable(mini.fact);
+  std::vector<IndexDef> cands = {MakeWhatIfIndex("w1", *d1, {1}, 100),
+                                 MakeWhatIfIndex("w2", *fact, {3}, 1000)};
+  auto set = MakeCandidateSet(mini.db.catalog(), cands);
+  ASSERT_TRUE(set.ok());
+
+  const CandidateSet before = *set;
+  const IndexId old_bound = before.NumIndexIds();
+  auto added = set->Append({MakeWhatIfIndex("w3", *fact, {4}, 1000),
+                            MakeWhatIfIndex("w4", *d1, {2}, 100)});
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_EQ(added->size(), 2u);
+
+  // Prefix stability: old ids unchanged and still resolving to the same
+  // definitions; new ids strictly above the old bound.
+  EXPECT_TRUE(set->HasCandidatePrefix(before.candidate_ids));
+  EXPECT_EQ(set->base_index_ids, before.base_index_ids);
+  for (IndexId id : before.candidate_ids) {
+    EXPECT_EQ(set->universe.FindIndex(id)->name,
+              before.universe.FindIndex(id)->name);
+  }
+  for (IndexId id : *added) {
+    EXPECT_GE(id, old_bound);
+    EXPECT_NE(set->universe.FindIndex(id), nullptr);
+  }
+  EXPECT_GT(set->NumIndexIds(), old_bound);
+  EXPECT_FALSE(before.HasCandidatePrefix(set->candidate_ids));
+}
+
+TEST(WhatIfCatalogTest, AppendIsAllOrNothing) {
+  // A failing Append (duplicate name mid-list) must leave the set
+  // byte-for-byte untouched — a half-grown universe would break the
+  // prefix contract for every snapshot sealed before it.
+  MiniStar mini;
+  const TableDef* d1 = mini.db.catalog().FindTable(mini.d1);
+  std::vector<IndexDef> cands = {MakeWhatIfIndex("w1", *d1, {1}, 100)};
+  auto set = MakeCandidateSet(mini.db.catalog(), cands);
+  ASSERT_TRUE(set.ok());
+  const std::vector<IndexId> before_ids = set->candidate_ids;
+  const IndexId before_bound = set->NumIndexIds();
+
+  auto added = set->Append({MakeWhatIfIndex("w_ok", *d1, {2}, 100),
+                            MakeWhatIfIndex("w1", *d1, {0}, 100)});
+  EXPECT_FALSE(added.ok());
+  EXPECT_EQ(set->candidate_ids, before_ids);
+  EXPECT_EQ(set->NumIndexIds(), before_bound);
+  EXPECT_EQ(set->universe.FindIndexByName("w_ok"), nullptr);
+}
+
 }  // namespace
 }  // namespace pinum

@@ -18,20 +18,14 @@ namespace {
 
 class WorkloadCacheTest : public ::testing::Test {
  protected:
-  WorkloadCacheTest() : mini_() {
-    queries_ = {mini_.JoinQuery(), mini_.ThreeWayQuery()};
-    CandidateOptions copt;
-    auto cands = GenerateCandidates(queries_, mini_.db.catalog(),
-                                    mini_.db.stats(), copt);
-    set_ = *MakeCandidateSet(mini_.db.catalog(), cands);
-  }
+  // The MiniStar workload + candidates + build helper live in the
+  // shared fixture (tests/test_util.h) — the reseal suite uses the same
+  // setup. References keep the test bodies unchanged.
+  WorkloadCacheTest()
+      : mini_(fixture_.mini), queries_(fixture_.queries), set_(fixture_.set) {}
 
   WorkloadCacheResult Build(WorkloadCacheOptions opts) {
-    WorkloadCacheBuilder builder(&mini_.db.catalog(), &set_,
-                                 &mini_.db.stats(), opts);
-    auto result = builder.BuildAll(queries_);
-    EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return std::move(*result);
+    return fixture_.Build(opts);
   }
 
   /// Random atomic configuration (at most one index per table).
@@ -39,9 +33,10 @@ class WorkloadCacheTest : public ::testing::Test {
     return ::pinum::RandomAtomicConfig(q, set_, rng);
   }
 
-  MiniStar mini_;
-  std::vector<Query> queries_;
-  CandidateSet set_;
+  MiniWorkloadFixture fixture_;
+  MiniStar& mini_;
+  std::vector<Query>& queries_;
+  CandidateSet& set_;
 };
 
 TEST_F(WorkloadCacheTest, PinumAndClassicAgreeOnConfigCosts) {
