@@ -1,0 +1,96 @@
+// Always-on serving demo: build a star-schema workload's caches once,
+// stand up a ServingEngine, and watch it keep answering — same bits,
+// new generations — while the world drifts and the watcher reseals in
+// the background. The full contract is in docs/SERVING.md.
+//
+//   $ ./serving_demo
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "advisor/candidate_generator.h"
+#include "serving/serving_engine.h"
+#include "workload/cache_manager.h"
+#include "workload/drift.h"
+#include "workload/star_schema.h"
+
+using namespace pinum;
+
+int main() {
+  // 1. The paper-scale star workload and its candidate universe.
+  auto workload = StarSchemaWorkload::Create(StarSchemaSpec{});
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Query>& queries = workload->queries();
+  auto candidates = GenerateCandidates(queries, workload->db().catalog(),
+                                       workload->db().stats(),
+                                       CandidateOptions{});
+  auto set = MakeCandidateSet(workload->db().catalog(), candidates);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Build every query's cache once (the paper's "one optimizer
+  // call" loop, workload-scale) and publish it as generation 1.
+  WorkloadCacheBuilder builder(&workload->db().catalog(), &*set,
+                               &workload->db().stats());
+  auto built = builder.BuildAll(queries);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  ServingOptions options;
+  options.pool = builder.pool();
+  ServingEngine engine(&builder, &queries, std::move(*built), options);
+  engine.StartDispatcher();
+  engine.StartDriftWatcher(std::chrono::milliseconds(10));
+
+  // 3. Ask a what-if question three ways: synchronously, batched, and
+  // through the async queue. All three answer from one pinned
+  // generation apiece.
+  IndexConfig config;
+  if (!set->candidate_ids.empty()) config.push_back(set->candidate_ids[0]);
+  const CostAnswer sync = engine.Cost(config);
+  std::printf("generation %llu prices config at %.1f\n",
+              static_cast<unsigned long long>(sync.generation), sync.cost);
+  auto submitted = engine.SubmitCost(config);
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "%s\n", submitted.status().ToString().c_str());
+    return 1;
+  }
+  const CostAnswer async = submitted.value().get();
+  std::printf("async answer: %.1f from generation %llu (same bits: %s)\n",
+              async.cost, static_cast<unsigned long long>(async.generation),
+              async.cost == sync.cost ? "yes" : "NO");
+
+  // 4. Drift the world — through WithWorld, the one rule — and let the
+  // watcher publish the repair while this thread keeps serving.
+  engine.WithWorld([&] {
+    auto drift = ApplyDrift(queries, &*set, &workload->db().stats(),
+                            queries.size(), /*seed=*/7);
+    if (drift.ok()) {
+      std::printf("drifted %zu tables, staled %zu queries\n",
+                  drift->drifted_tables.size(),
+                  drift->stale_queries.size());
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (engine.CurrentGenerationId() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    (void)engine.Cost(config);  // serving never pauses
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const CostAnswer after = engine.Cost(config);
+  std::printf("after reseal: generation %llu prices it at %.1f (%s)\n",
+              static_cast<unsigned long long>(after.generation), after.cost,
+              after.cost == sync.cost ? "unchanged" : "moved with the world");
+
+  engine.StopDriftWatcher();
+  engine.StopDispatcher();
+  return engine.CurrentGenerationId() >= 2 ? 0 : 1;
+}

@@ -74,7 +74,14 @@ const std::vector<double>& WorkloadCostEvaluator::BatchCostWithExtras(
     const SealedCache& cache = (*caches_)[static_cast<size_t>(q)];
     SealedCache::CostContext& ctx =
         scratch->per_query[static_cast<size_t>(q)];
-    if (extend) {
+    if (ctx.seal_id() != cache.seal_id()) {
+      // The cache at this slot was resealed (or replaced) since the
+      // context was pinned — RebuildQueries swaps stale queries' seals
+      // in place — so the pinned values index a dead term layout.
+      // Re-prepare against the live seal; only the resealed queries pay
+      // this, their neighbours keep their warm contexts.
+      cache.PrepareContext(base, &ctx);
+    } else if (extend) {
       cache.ExtendContext(&ctx, appended);
     } else if (!reuse) {
       cache.PrepareContext(base, &ctx);

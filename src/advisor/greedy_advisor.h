@@ -44,7 +44,12 @@ class WorkloadCostEvaluator {
   /// greedy advisor's winner — the contexts are extended in place
   /// (O(postings) per query) instead of re-resolved from scratch. A
   /// scratch belongs to one evaluator's cache vector; do not share it
-  /// across evaluators or concurrent calls.
+  /// across evaluators or concurrent calls. It IS safe to keep using a
+  /// scratch after WorkloadCacheBuilder::RebuildQueries reseals some of
+  /// the vector's caches in place: every call compares each context's
+  /// recorded seal id against its cache's (SealedCache::seal_id) and
+  /// re-prepares exactly the resealed queries' contexts, so reuse can
+  /// never serve costs from a dead seal's term layout.
   struct EvalScratch {
     std::vector<SealedCache::CostContext> per_query;
     /// Row-major [query][extra] per-query costs.

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

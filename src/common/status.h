@@ -22,6 +22,11 @@ enum class StatusCode {
   /// A precondition the caller must re-establish does not hold (e.g. a
   /// snapshot's catalog/stats epoch no longer matches the live system).
   kFailedPrecondition,
+  /// The service is overloaded right now; retrying later may succeed
+  /// (e.g. the serving engine's admission control shedding a request
+  /// because its queue is full). Deliberately distinct from the
+  /// permanent-failure codes above: nothing about the request is wrong.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -59,6 +64,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace pinum {
 
@@ -28,9 +27,41 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+size_t ThreadPool::QueueDepthForTesting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::RunRegion(Region* region) {
+  const int64_t n = region->n;
+  for (;;) {
+    const int64_t i = region->next.fetch_add(1);
+    if (i >= n) return;
+    // After a throw the region's outcome is fixed (the caller will
+    // rethrow), so skip the remaining bodies but keep claiming: every
+    // iteration must still be accounted for in `remaining` or the
+    // caller's barrier never opens.
+    if (!region->failed.load(std::memory_order_relaxed)) {
+      try {
+        (*region->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(region->error_mu);
+        if (region->error == nullptr) {
+          region->error = std::current_exception();
+        }
+        region->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (region->remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(region->done_mu);
+      region->done_cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    std::shared_ptr<Region> region;
     {
       std::unique_lock<std::mutex> lock(mu_);
       wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -38,10 +69,13 @@ void ThreadPool::WorkerLoop() {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
+      region = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A region whose iterations were all claimed already (the caller
+    // finished it, or is about to) is a no-op here: RunRegion checks
+    // `next` before touching the caller-owned `fn`.
+    RunRegion(region.get());
   }
 }
 
@@ -49,45 +83,45 @@ void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   if (workers_.empty() || n == 1) {
+    // Exactly sequential; exceptions propagate to the caller directly.
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  // Shared iteration state: workers and the caller pull indices until the
-  // range is exhausted; `remaining` counts finished iterations.
-  struct State {
-    std::atomic<int64_t> next{0};
-    std::atomic<int64_t> remaining;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-  };
-  auto state = std::make_shared<State>();
-  state->remaining.store(n);
-
-  auto run = [state, n, &fn] {
-    for (;;) {
-      const int64_t i = state->next.fetch_add(1);
-      if (i >= n) return;
-      fn(i);
-      if (state->remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state->done_mu);
-        state->done_cv.notify_all();
-      }
-    }
-  };
+  auto region = std::make_shared<Region>();
+  region->n = n;
+  region->fn = &fn;
+  region->remaining.store(n);
 
   const int64_t helpers =
       std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (int64_t i = 0; i < helpers; ++i) queue_.emplace_back(run);
+    for (int64_t i = 0; i < helpers; ++i) queue_.push_back(region);
   }
   wake_.notify_all();
 
-  run();  // the caller participates
+  RunRegion(region.get());  // the caller participates
 
-  std::unique_lock<std::mutex> lock(state->done_mu);
-  state->done_cv.wait(lock, [&] { return state->remaining.load() == 0; });
+  {
+    std::unique_lock<std::mutex> lock(region->done_mu);
+    region->done_cv.wait(lock,
+                         [&] { return region->remaining.load() == 0; });
+  }
+
+  // Drop this region's unclaimed queue entries: when the caller (plus
+  // early workers) finished every iteration before some workers woke,
+  // the leftovers would otherwise sit in the queue — keeping the region
+  // alive and delaying the next region's start — until a later
+  // ParallelFor drained them as no-ops.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), region),
+                 queue_.end());
+  }
+
+  std::lock_guard<std::mutex> lock(region->error_mu);
+  if (region->error != nullptr) std::rethrow_exception(region->error);
 }
 
 }  // namespace pinum

@@ -1,6 +1,8 @@
 #include "inum/sealed_cache.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <map>
 #include <tuple>
 
@@ -64,8 +66,16 @@ struct BuildTerm {
 
 }  // namespace
 
+uint64_t SealedCache::NextSealId() {
+  // Ids start at 1 so the default CostContext (seal_id 0) can never match
+  // a real cache and read as "already prepared".
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1) + 1;
+}
+
 SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
   SealedCache sealed;
+  sealed.seal_id_ = NextSealId();
   const std::vector<CachedPlan>& plans = cache.plans();
   const AccessCostTable& access = cache.access();
   const size_t n = plans.size();
@@ -274,6 +284,7 @@ void SealedCache::PrepareContext(const IndexConfig& base,
   }
   ctx->base_cost_ = ScanPlans(ctx->values_.data(), kInfiniteCost);
   ctx->undo_.clear();
+  ctx->seal_id_ = seal_id_;
 }
 
 double SealedCache::Cost(const IndexConfig& config) const {
@@ -287,6 +298,12 @@ double SealedCache::Cost(const IndexConfig& config) const {
 
 double SealedCache::CostOverlay(CostContext* ctx, uint32_t begin,
                                 uint32_t end) const {
+  // A context prepared by a different seal indexes a dead term layout;
+  // folding postings into it serves silently wrong (or out-of-range)
+  // costs. Free in release builds; callers that legitimately hold
+  // contexts across reseals compare seal ids and re-prepare first.
+  assert(ctx->seal_id_ == seal_id_ &&
+         "CostContext is stale: the cache was resealed since PrepareContext");
   // Overlay the extra index's postings onto the pinned term values. A
   // posting with value >= the pinned min cannot change it (pinned values
   // are pointwise <= term bases, postings are < base but not necessarily
@@ -314,6 +331,8 @@ double SealedCache::CostOverlay(CostContext* ctx, uint32_t begin,
 }
 
 void SealedCache::ExtendContext(CostContext* ctx, IndexId extra) const {
+  assert(ctx->seal_id_ == seal_id_ &&
+         "CostContext is stale: the cache was resealed since PrepareContext");
   if (extra < 0 || static_cast<size_t>(extra) >= universe_) return;
   // The permanent flavor of CostOverlay: fold and keep, no undo.
   bool changed = false;
@@ -332,6 +351,8 @@ void SealedCache::ExtendContext(CostContext* ctx, IndexId extra) const {
 }
 
 double SealedCache::CostWithExtra(CostContext* ctx, IndexId extra) const {
+  assert(ctx->seal_id_ == seal_id_ &&
+         "CostContext is stale: the cache was resealed since PrepareContext");
   if (extra < 0 || static_cast<size_t>(extra) >= universe_) {
     return ctx->base_cost_;
   }
@@ -341,6 +362,8 @@ double SealedCache::CostWithExtra(CostContext* ctx, IndexId extra) const {
 
 void SealedCache::CostExtrasInto(CostContext* ctx, const IndexId* extras,
                                  size_t n, double* out) const {
+  assert(ctx->seal_id_ == seal_id_ &&
+         "CostContext is stale: the cache was resealed since PrepareContext");
   // Most extras cannot lower any of this query's terms (their posting
   // lists are empty — candidate indexes on other tables, or indexes the
   // heap already beats), so the whole row starts as the base cost and
@@ -360,6 +383,8 @@ void SealedCache::CostExtrasInto(CostContext* ctx, const IndexId* extras,
 void SealedCache::CostActiveExtrasInto(CostContext* ctx,
                                        const uint32_t* position_of_id,
                                        size_t map_size, double* out) const {
+  assert(ctx->seal_id_ == seal_id_ &&
+         "CostContext is stale: the cache was resealed since PrepareContext");
   // Inverted loop: instead of asking "does this swept id have postings
   // here" per extra, walk the (usually much shorter) posting-bearing id
   // list and ask "is this id being swept".

@@ -79,6 +79,14 @@ class SealedCache {
     /// Cost of the pinned base configuration (== Cost(base)).
     double base_cost() const { return base_cost_; }
 
+    /// seal_id() of the cache that prepared this context, 0 when never
+    /// prepared. A context whose seal id differs from its cache's is
+    /// stale — the cache was resealed (or replaced) since the pin — and
+    /// its values_ index a dead term layout; callers holding contexts
+    /// across reseals (WorkloadCostEvaluator::EvalScratch) compare the
+    /// ids and re-prepare instead of serving torn costs.
+    uint64_t seal_id() const { return seal_id_; }
+
    private:
     friend class SealedCache;
     std::vector<double> values_;
@@ -87,6 +95,7 @@ class SealedCache {
     /// calls.
     std::vector<std::pair<uint32_t, double>> undo_;
     double base_cost_ = kInfiniteCost;
+    uint64_t seal_id_ = 0;
   };
 
   /// Seals `cache` for serving. `num_index_ids` bounds the dense vectors:
@@ -167,6 +176,14 @@ class SealedCache {
   /// cache never saw, the property that lets a sealed cache keep serving
   /// unreseal'd after append-only universe growth (incremental reseal).
   size_t UniverseSize() const { return universe_; }
+  /// Process-unique identity of this seal's *contents*: freshly drawn by
+  /// every Seal() and snapshot decode (never 0, never reused within a
+  /// process), carried along by copies and moves — a copy answers
+  /// bit-identically, so contexts pinned against either stay valid.
+  /// Assigning a different cache into a slot (RebuildQueries replacing a
+  /// resealed query in place) changes the slot's seal id, which is how
+  /// CostContext/EvalScratch staleness is detected.
+  uint64_t seal_id() const { return seal_id_; }
 
  private:
   /// The persistence layer (src/inum/snapshot.cc) serializes and
@@ -193,8 +210,14 @@ class SealedCache {
   /// values, scans, restores, returns the cost.
   double CostOverlay(CostContext* ctx, uint32_t begin, uint32_t end) const;
 
+  /// Draws the next process-unique seal id (atomic; seals run on pools).
+  static uint64_t NextSealId();
+
   /// One past the largest IndexId the sealed vectors cover.
   size_t universe_ = 0;
+
+  /// See seal_id(). Not persisted: snapshot decode draws a fresh one.
+  uint64_t seal_id_ = 0;
 
   /// Per-term cost under the empty configuration (heap for unordered
   /// slots, infinite for ordered/probe slots).

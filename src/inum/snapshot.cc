@@ -203,6 +203,9 @@ class SnapshotCodec {
     }
     out->universe_ = static_cast<size_t>(universe);
     out->plans_pruned_ = static_cast<size_t>(pruned);
+    // Seal identity is process-local, never persisted: a restored cache
+    // is a fresh seal as far as pinned contexts are concerned.
+    out->seal_id_ = SealedCache::NextSealId();
 
     PINUM_RETURN_IF_ERROR(r->Vec(&out->term_bases_, "term bases"));
     PINUM_RETURN_IF_ERROR(r->Vec(&out->per_index_values_, "term matrix"));

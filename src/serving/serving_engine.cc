@@ -1,0 +1,248 @@
+#include "serving/serving_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "advisor/greedy_advisor.h"
+
+namespace pinum {
+
+ServingEngine::ServingEngine(WorkloadCacheBuilder* builder,
+                             const std::vector<Query>* queries,
+                             WorkloadCacheResult initial,
+                             ServingOptions options)
+    : builder_(builder), queries_(queries), options_(options) {
+  auto first = std::make_shared<ServingGeneration>();
+  first->id = 1;
+  first->result = std::move(initial);
+  generation_.store(std::move(first));
+}
+
+ServingEngine::~ServingEngine() {
+  StopDriftWatcher();
+  StopDispatcher();
+  // Requests submitted after the dispatcher stopped still hold
+  // promises; answer them rather than abandon them.
+  while (PumpOnce() > 0) {
+  }
+}
+
+// ---- Read path --------------------------------------------------------
+
+std::shared_ptr<const ServingGeneration> ServingEngine::Pin() const {
+  return generation_.load();
+}
+
+CostAnswer ServingEngine::Cost(const IndexConfig& config) const {
+  const auto gen = Pin();
+  WorkloadCostEvaluator evaluator(&gen->sealed(), options_.pool);
+  return CostAnswer{evaluator.Cost(config), gen->id};
+}
+
+std::vector<CostAnswer> ServingEngine::BatchCost(
+    const std::vector<IndexConfig>& configs) const {
+  const auto gen = Pin();
+  WorkloadCostEvaluator evaluator(&gen->sealed(), options_.pool);
+  const std::vector<double> costs = evaluator.BatchCost(configs);
+  std::vector<CostAnswer> answers(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    answers[i] = CostAnswer{costs[i], gen->id};
+  }
+  return answers;
+}
+
+// ---- Async front end --------------------------------------------------
+
+StatusOr<std::future<CostAnswer>> ServingEngine::SubmitCost(
+    IndexConfig config) {
+  std::future<CostAnswer> future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (pending_.size() >= options_.max_queue_depth) {
+      return Status::Unavailable(
+          "serving queue is full (" + std::to_string(pending_.size()) +
+          " pending); retry later");
+    }
+    PendingRequest request;
+    request.config = std::move(config);
+    future = request.promise.get_future();
+    pending_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+size_t ServingEngine::PumpOnce() {
+  std::vector<PendingRequest> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    const size_t take = std::min(pending_.size(), options_.max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+  if (batch.empty()) return 0;
+
+  // One pin for the whole batch: coalesced requests are never split
+  // across generations, and the sweep is one BatchCost call instead of
+  // batch.size() serial Cost calls.
+  const auto gen = Pin();
+  WorkloadCostEvaluator evaluator(&gen->sealed(), options_.pool);
+  std::vector<IndexConfig> configs;
+  configs.reserve(batch.size());
+  for (const PendingRequest& request : batch) {
+    configs.push_back(request.config);
+  }
+  const std::vector<double> costs = evaluator.BatchCost(configs);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(CostAnswer{costs[i], gen->id});
+  }
+  return batch.size();
+}
+
+void ServingEngine::StartDispatcher() {
+  StopDispatcher();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    dispatcher_stop_ = false;
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+void ServingEngine::StopDispatcher() {
+  if (!dispatcher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    dispatcher_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+size_t ServingEngine::Pending() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return pending_.size();
+}
+
+void ServingEngine::DispatcherLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return dispatcher_stop_ || !pending_.empty(); });
+      // Drain before exiting so StopDispatcher leaves an empty queue.
+      if (dispatcher_stop_ && pending_.empty()) return;
+    }
+    PumpOnce();
+  }
+}
+
+// ---- Maintenance path -------------------------------------------------
+
+void ServingEngine::Publish(std::shared_ptr<const ServingGeneration> next) {
+  generation_.store(std::move(next));
+}
+
+void ServingEngine::WithWorld(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  fn();
+}
+
+std::vector<std::string> ServingEngine::StaleNamesLocked() const {
+  const auto gen = Pin();
+  std::map<TableId, uint64_t> fp_cache;
+  std::vector<std::string> stale;
+  for (size_t i = 0; i < queries_->size(); ++i) {
+    if (builder_->QueryStamp((*queries_)[i], &fp_cache) !=
+        gen->stamps()[i]) {
+      stale.push_back((*queries_)[i].name);
+    }
+  }
+  return stale;
+}
+
+std::vector<std::string> ServingEngine::StaleNames() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  return StaleNamesLocked();
+}
+
+Status ServingEngine::ResealLocked(const std::vector<std::string>& names) {
+  const auto base = Pin();
+  // The rebuild lands in a copy; `base` keeps serving readers (and
+  // in-flight pins) bit-identically throughout.
+  PINUM_ASSIGN_OR_RETURN(
+      WorkloadCacheResult next,
+      builder_->RebuildQueriesInto(names, *queries_, base->result));
+  auto next_gen = std::make_shared<ServingGeneration>();
+  // Publications are serialized on maintenance_mu_, so base is still
+  // current here and id stays strictly monotonic.
+  next_gen->id = base->id + 1;
+  next_gen->result = std::move(next);
+  Publish(std::move(next_gen));
+  return Status::OK();
+}
+
+Status ServingEngine::Reseal(const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  Status status = ResealLocked(names);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> status_lock(status_mu_);
+    last_maintenance_status_ = status;
+  }
+  return status;
+}
+
+StatusOr<bool> ServingEngine::CheckAndReseal() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  const std::vector<std::string> stale = StaleNamesLocked();
+  if (stale.empty()) return false;
+  Status status = ResealLocked(stale);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> status_lock(status_mu_);
+    last_maintenance_status_ = status;
+    return status;
+  }
+  return true;
+}
+
+void ServingEngine::StartDriftWatcher(std::chrono::milliseconds poll) {
+  StopDriftWatcher();
+  {
+    std::lock_guard<std::mutex> lock(watcher_mu_);
+    watcher_stop_ = false;
+  }
+  watcher_ = std::thread([this, poll] { WatcherLoop(poll); });
+}
+
+void ServingEngine::StopDriftWatcher() {
+  if (!watcher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watcher_mu_);
+    watcher_stop_ = true;
+  }
+  watcher_cv_.notify_all();
+  watcher_.join();
+}
+
+void ServingEngine::WatcherLoop(std::chrono::milliseconds poll) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watcher_mu_);
+      watcher_cv_.wait_for(lock, poll, [this] { return watcher_stop_; });
+      if (watcher_stop_) return;
+    }
+    // Errors are parked in last_maintenance_status_ by CheckAndReseal;
+    // the old generation keeps serving either way.
+    (void)CheckAndReseal();
+  }
+}
+
+Status ServingEngine::LastMaintenanceStatus() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return last_maintenance_status_;
+}
+
+}  // namespace pinum

@@ -1,0 +1,220 @@
+// Always-on what-if serving: answers configuration-cost questions
+// continuously while the world drifts underneath, with reseals that
+// never stop the serving path.
+//
+// The core is an RCU-style generation swap. All serving state lives in
+// immutable ServingGenerations (serving_generation.h); the engine holds
+// the current one in an atomic shared_ptr. Readers pin it with one
+// atomic load — no lock, no wait, no interaction with maintenance —
+// and answer from the pinned generation even if ten reseals publish
+// while they compute. Maintenance builds the next generation off to
+// the side (WorkloadCacheBuilder::RebuildQueriesInto copies the base
+// result and reseals only the stale queries) and publishes it with one
+// atomic store. Old generations are reclaimed by shared_ptr refcount
+// when the last pinned reader drops them.
+//
+// Thread-safety contract (docs/SERVING.md has the long form):
+//  - Pin/Cost/BatchCost/SubmitCost/PumpOnce: any thread, any time,
+//    concurrent with each other and with maintenance.
+//  - Reseal/StaleNames/CheckAndReseal/WithWorld: serialized internally
+//    on one maintenance mutex. ALL mutation of the world the builder is
+//    bound to (StatsCatalog, CandidateSet — e.g. ApplyDrift) must go
+//    through WithWorld so it serializes against stamp reads and
+//    rebuilds; the serving path never touches the world, only
+//    published generations.
+//  - WorkloadCostEvaluator::EvalScratch stays one-caller-at-a-time as
+//    documented in greedy_advisor.h; the engine never shares one.
+#ifndef PINUM_SERVING_SERVING_ENGINE_H_
+#define PINUM_SERVING_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "query/query.h"
+#include "serving/serving_generation.h"
+#include "whatif/candidate_set.h"
+#include "workload/cache_manager.h"
+
+namespace pinum {
+
+/// Serving-engine knobs.
+struct ServingOptions {
+  /// Admission control: SubmitCost sheds with kUnavailable once this
+  /// many requests are queued. Bounds both memory and the worst-case
+  /// answer staleness a queued request can observe.
+  size_t max_queue_depth = 1024;
+  /// Batch coalescing: one pump drains at most this many queued
+  /// requests into a single BatchCost sweep over one pinned generation.
+  size_t max_batch = 256;
+  /// Prices coalesced sweeps in parallel when given (not owned; may be
+  /// the builder's pool — concurrent ParallelFor regions are safe).
+  /// Null prices serially.
+  ThreadPool* pool = nullptr;
+};
+
+/// One answered cost question: the workload cost plus the id of the
+/// generation that produced it. Every answer is bit-identical to a cold
+/// rebuild of that generation's world — the concurrency stress suite
+/// pins this — so the id tells the caller exactly which world snapshot
+/// they were quoted.
+struct CostAnswer {
+  double cost = 0;
+  uint64_t generation = 0;
+};
+
+/// Always-on serving front end over one workload's sealed caches.
+/// Construct with the builder, the (fixed) query vector BuildAll
+/// consumed, and BuildAll's result; the engine publishes that result as
+/// generation 1 and starts answering immediately. The builder, queries,
+/// and the world objects the builder is bound to must outlive the
+/// engine.
+class ServingEngine {
+ public:
+  ServingEngine(WorkloadCacheBuilder* builder,
+                const std::vector<Query>* queries,
+                WorkloadCacheResult initial, ServingOptions options = {});
+  /// Stops the watcher and dispatcher, then drains every queued request
+  /// (no promise is ever abandoned to a broken_promise).
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  // ---- Read path: lock-free, concurrent with everything ----
+
+  /// Pins the current generation: one atomic shared_ptr load. The
+  /// returned generation is immutable and stays alive until the caller
+  /// drops the pointer; holding it does not block reseals.
+  std::shared_ptr<const ServingGeneration> Pin() const;
+
+  /// Id of the generation a Pin() right now would return.
+  uint64_t CurrentGenerationId() const { return Pin()->id; }
+
+  /// Workload cost of one configuration against the pinned current
+  /// generation. Bit-identical to
+  /// WorkloadCostEvaluator(&gen->sealed()).Cost(config) for the
+  /// generation the answer names.
+  CostAnswer Cost(const IndexConfig& config) const;
+
+  /// Batched form: all configs price against ONE pinned generation (a
+  /// reseal mid-call never splits a batch across generations), so every
+  /// answer in the result carries the same generation id.
+  std::vector<CostAnswer> BatchCost(
+      const std::vector<IndexConfig>& configs) const;
+
+  // ---- Async front end: queue + coalescing + admission control ----
+
+  /// Enqueues one cost question and returns a future for its answer.
+  /// Sheds with Status::Unavailable — a retryable, nothing-wrong-with-
+  /// the-request rejection — when max_queue_depth requests are already
+  /// waiting. The future is fulfilled by the dispatcher thread (if
+  /// started), any PumpOnce caller, or at latest the destructor.
+  StatusOr<std::future<CostAnswer>> SubmitCost(IndexConfig config);
+
+  /// Drains up to max_batch queued requests, prices them in one
+  /// BatchCost sweep against one pinned generation, and fulfils their
+  /// futures. Returns how many were answered (0 = queue was empty).
+  /// Safe from any thread, including concurrent with the dispatcher.
+  size_t PumpOnce();
+
+  /// Starts/stops the background dispatcher thread that pumps whenever
+  /// requests are queued. Stop drains the queue before returning.
+  void StartDispatcher();
+  void StopDispatcher();
+
+  /// Current queue depth (requests submitted but not yet drained into
+  /// a sweep). For tests and admission-control introspection.
+  size_t Pending() const;
+
+  // ---- Maintenance path: serialized, concurrent with serving ----
+
+  /// Runs `fn` holding the maintenance mutex. Every mutation of the
+  /// world the builder is bound to (ApplyDrift, manual stats edits,
+  /// candidate appends) MUST be wrapped in this: it serializes the
+  /// mutation against stamp reads and rebuilds, while serving
+  /// continues untouched from published generations.
+  void WithWorld(const std::function<void()>& fn);
+
+  /// Names of the queries whose live QueryStamp differs from the
+  /// current generation's build stamp — the exact set a reseal must
+  /// rebuild. Empty means the current generation matches the world.
+  std::vector<std::string> StaleNames();
+
+  /// Rebuilds the named queries into a copy of the current generation
+  /// and publishes the copy as the next generation, concurrent with
+  /// serving. On error nothing is published and the current generation
+  /// keeps serving.
+  Status Reseal(const std::vector<std::string>& names);
+
+  /// StaleNames + Reseal under one maintenance-mutex hold. Returns
+  /// whether a new generation was published (false = nothing stale).
+  StatusOr<bool> CheckAndReseal();
+
+  /// Starts/stops the drift watcher: a background thread that runs
+  /// CheckAndReseal every `poll`. Watcher errors never stop serving;
+  /// they are recorded and readable via LastMaintenanceStatus.
+  void StartDriftWatcher(std::chrono::milliseconds poll);
+  void StopDriftWatcher();
+
+  /// The most recent maintenance failure (OK if none yet). The
+  /// watcher parks errors here since it has no caller to return to.
+  Status LastMaintenanceStatus() const;
+
+ private:
+  struct PendingRequest {
+    IndexConfig config;
+    std::promise<CostAnswer> promise;
+  };
+
+  /// Atomically replaces the current generation. Publication order is
+  /// the maintenance serialization order, so ids stay monotonic.
+  void Publish(std::shared_ptr<const ServingGeneration> next);
+
+  std::vector<std::string> StaleNamesLocked() const;
+  Status ResealLocked(const std::vector<std::string>& names);
+
+  void DispatcherLoop();
+  void WatcherLoop(std::chrono::milliseconds poll);
+
+  WorkloadCacheBuilder* builder_;
+  const std::vector<Query>* queries_;
+  ServingOptions options_;
+
+  /// The one swap point. Readers load, maintenance stores; never
+  /// null after construction.
+  std::atomic<std::shared_ptr<const ServingGeneration>> generation_;
+
+  /// Serializes every world mutation, stamp read, and rebuild.
+  std::mutex maintenance_mu_;
+
+  mutable std::mutex status_mu_;
+  Status last_maintenance_status_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> pending_;
+
+  std::thread dispatcher_;
+  bool dispatcher_stop_ = false;  // guarded by queue_mu_
+
+  std::thread watcher_;
+  std::mutex watcher_mu_;
+  std::condition_variable watcher_cv_;
+  bool watcher_stop_ = false;  // guarded by watcher_mu_
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_SERVING_SERVING_ENGINE_H_

@@ -255,6 +255,19 @@ Status WorkloadCacheBuilder::RebuildQueries(
   return Status::OK();
 }
 
+StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::RebuildQueriesInto(
+    const std::vector<std::string>& names, const std::vector<Query>& queries,
+    const WorkloadCacheResult& base, WorkloadCacheStats* rebuild_totals) {
+  // The copy is the whole point: `base` may be a published serving
+  // generation with concurrent readers, so nothing below may write
+  // through it. RebuildQueries only ever mutates the result it is
+  // handed, which is this copy.
+  WorkloadCacheResult next = base;
+  PINUM_RETURN_IF_ERROR(
+      RebuildQueries(names, queries, &next, rebuild_totals));
+  return next;
+}
+
 uint64_t WorkloadCacheBuilder::QueryStamp(
     const Query& query, std::map<TableId, uint64_t>* table_fp_cache) const {
   // Fold the world-slice stamp with the build shape: two builders bound

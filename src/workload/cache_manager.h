@@ -148,6 +148,19 @@ class WorkloadCacheBuilder {
                         WorkloadCacheResult* result,
                         WorkloadCacheStats* rebuild_totals = nullptr);
 
+  /// The rebuild-into-copy variant RebuildQueries for always-on serving:
+  /// `base` is left completely untouched (readers may keep serving from
+  /// it throughout), the rebuild lands in a copy that is returned only
+  /// when every per-query build succeeded. This is what the serving
+  /// engine's generation swap publishes: the copy becomes generation
+  /// N+1 while generation N keeps answering in-flight requests. Same
+  /// contract as RebuildQueries otherwise (parallel vectors, per-table
+  /// store invalidation, current-universe reseal of the named queries).
+  StatusOr<WorkloadCacheResult> RebuildQueriesInto(
+      const std::vector<std::string>& names,
+      const std::vector<Query>& queries, const WorkloadCacheResult& base,
+      WorkloadCacheStats* rebuild_totals = nullptr);
+
   /// The per-query epoch stamp this builder seals `query` under *right
   /// now*: ComputeQueryStamp over the bound (candidates, stats) folded
   /// with the build mode and planner switches — everything a rebuilt

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bitset64.h"
@@ -10,6 +14,7 @@
 #include "common/simd.h"
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace pinum {
 namespace {
@@ -32,7 +37,8 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }
@@ -205,6 +211,104 @@ TEST(SimdTest, FillCoversRaggedTails) {
 TEST(SimdTest, BackendNameIsNonEmpty) {
   EXPECT_NE(simd::BackendName(), nullptr);
   EXPECT_NE(std::string(simd::BackendName()), "");
+}
+
+TEST(ThreadPoolTest, RunsEveryIteration) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "i=" << i;
+    }
+  }
+}
+
+// An exception from the body must reach the caller — not std::terminate
+// on a worker, and not a deadlocked completion barrier (the pre-fix
+// behaviour: the throwing iteration skipped its `remaining` decrement,
+// so the caller waited forever while the worker died).
+TEST(ThreadPoolTest, BodyExceptionRethrownOnCaller) {
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const int64_t n = 256;
+    std::atomic<int64_t> ran{0};
+    bool caught = false;
+    try {
+      pool.ParallelFor(n, [&](int64_t i) {
+        if (i == 7) throw std::runtime_error("iteration 7 failed");
+        ran++;
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "iteration 7 failed");
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_LT(ran.load(), n);  // the throwing iteration never counts
+    // The pool survives: the same pool serves the next region normally.
+    std::atomic<int64_t> after{0};
+    pool.ParallelFor(n, [&](int64_t) { after++; });
+    EXPECT_EQ(after.load(), n);
+  }
+}
+
+TEST(ThreadPoolTest, EveryIterationThrowingStillCompletes) {
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(64, [](int64_t) { throw std::logic_error("all"); }),
+        std::logic_error);
+  }
+}
+
+// Finished regions must not leave their queued helper entries behind:
+// before the fix, a caller that finished all iterations while workers
+// slept left stale closures in the queue (holding the region state
+// alive) to be drained as no-ops at the start of the *next* region.
+TEST(ThreadPoolTest, NoLeftoverTasksAfterParallelFor) {
+  ThreadPool pool(8);
+  // Tiny regions maximize the chance the caller finishes before any
+  // worker wakes; with the fix the queue is empty after *every* return.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> ran{0};
+    pool.ParallelFor(2, [&](int64_t) { ran++; });
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_EQ(pool.QueueDepthForTesting(), 0u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, QueueDrainsAfterThrowingRegionToo) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(pool.ParallelFor(3, [](int64_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+    }),
+                 std::runtime_error);
+    EXPECT_EQ(pool.QueueDepthForTesting(), 0u) << "round " << round;
+  }
+}
+
+// Concurrent ParallelFor calls from different threads share the workers
+// but complete independently — the serving engine reseals on the
+// builder's pool while a batched sweep may be using it too.
+TEST(ThreadPoolTest, ConcurrentRegionsFromTwoCallers) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  std::thread other([&] {
+    for (int r = 0; r < 20; ++r) {
+      pool.ParallelFor(64, [&](int64_t) { total++; });
+    }
+  });
+  for (int r = 0; r < 20; ++r) {
+    pool.ParallelFor(64, [&](int64_t) { total++; });
+  }
+  other.join();
+  EXPECT_EQ(total.load(), 2 * 20 * 64);
+  EXPECT_EQ(pool.QueueDepthForTesting(), 0u);
 }
 
 }  // namespace

@@ -258,6 +258,74 @@ TEST_F(IncrementalResealTest, UntouchedQueriesKeepTheirSealedForm) {
   }
 }
 
+TEST_F(IncrementalResealTest, ScratchReuseAcrossResealServesLiveCosts) {
+  // Regression: BatchCostWithExtras reuses pinned contexts whenever the
+  // scratch shape and base match, but RebuildQueries replaces sealed
+  // caches in place — before the seal-id check, a scratch pinned before
+  // the reseal kept serving the *old* generation's term layout (silently
+  // wrong or out-of-range costs). Every post-reseal answer must be
+  // bit-identical to a fresh-scratch evaluation.
+  CandidateSet set = fix_->set;
+  StatsCatalog stats = fix_->stats();
+  const std::vector<Query>& queries = fix_->queries();
+  WorkloadCacheOptions opts;
+  WorkloadCacheBuilder builder(&fix_->catalog(), &set, &stats, opts);
+  auto built = builder.BuildAll(queries);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const WorkloadCostEvaluator evaluator(&built->sealed);
+  std::vector<IndexId> extras = set.candidate_ids;
+
+  // Two scratches pinned to the empty base against the pre-drift seals:
+  // after the reseal, one is asked the same base again (the `reuse` fast
+  // path) and one is asked base + one id (the advisor's `extend` fast
+  // path) — both fast paths must notice the dead seals and re-prepare.
+  WorkloadCostEvaluator::EvalScratch reuse_scratch;
+  WorkloadCostEvaluator::EvalScratch extend_scratch;
+  const std::vector<double> pre =
+      evaluator.BatchCostWithExtras({}, extras, &reuse_scratch);
+  ASSERT_EQ(pre.size(), extras.size());
+  (void)evaluator.BatchCostWithExtras({}, extras, &extend_scratch);
+  IndexConfig grown;
+  grown.push_back(extras[0]);
+
+  // Drift hard enough that every query's costs actually move, then
+  // reseal in place — the scratches' contexts now point at dead seals.
+  auto drift = ApplyDrift(queries, &set, &stats, queries.size(), 61);
+  ASSERT_TRUE(drift.ok()) << drift.status().ToString();
+  ASSERT_TRUE(
+      builder.RebuildQueries(drift->stale_queries, queries, &*built).ok());
+
+  struct Case {
+    const char* name;
+    IndexConfig base;
+    WorkloadCostEvaluator::EvalScratch* scratch;
+  };
+  Case cases[] = {{"reuse-on-stale", {}, &reuse_scratch},
+                  {"extend-on-stale", grown, &extend_scratch}};
+  for (Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::vector<double> stale_scratch_costs =
+        evaluator.BatchCostWithExtras(c.base, extras, c.scratch);
+    WorkloadCostEvaluator::EvalScratch fresh;
+    const std::vector<double> fresh_costs =
+        evaluator.BatchCostWithExtras(c.base, extras, &fresh);
+    ASSERT_EQ(stale_scratch_costs.size(), fresh_costs.size());
+    bool any_moved = false;
+    for (size_t e = 0; e < extras.size(); ++e) {
+      EXPECT_EQ(stale_scratch_costs[e], fresh_costs[e]) << "extra " << e;
+      // And both match the from-scratch configuration price.
+      IndexConfig config = c.base;
+      config.push_back(extras[e]);
+      EXPECT_EQ(fresh_costs[e], evaluator.Cost(config)) << "extra " << e;
+      any_moved = any_moved || fresh_costs[e] != pre[e];
+    }
+    // The drift really changed the answers, so the identity above is not
+    // vacuously comparing pre-drift values.
+    EXPECT_TRUE(any_moved);
+  }
+}
+
 TEST_F(IncrementalResealTest, UnknownNameIsInvalidArgument) {
   CandidateSet set = fix_->set;
   StatsCatalog stats = fix_->stats();

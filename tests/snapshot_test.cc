@@ -10,6 +10,8 @@
 // mutation or base-schema change is still kFailedPrecondition.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -68,7 +70,7 @@ class SnapshotTest : public ::testing::Test {
     fix_ = new Fixture{std::move(star),
                        nullptr,
                        {},
-                       ::testing::TempDir() + "pinum_snapshot_test.snap"};
+                       TempPath("pinum_snapshot_test.snap")};
     fix_->builder = std::make_unique<WorkloadCacheBuilder>(
         &fix_->star->catalog(), &fix_->star->set, &fix_->star->stats());
     auto built = fix_->builder->BuildAll(fix_->star->queries());
@@ -92,8 +94,13 @@ class SnapshotTest : public ::testing::Test {
   /// A pristine copy of the snapshot bytes for patch-and-reject tests.
   static std::string SnapshotBytes() { return ReadFile(fix_->path); }
 
+  /// Test-file paths embed the pid: ctest -j runs every TEST as its
+  /// own process, and each process re-runs SetUpTestSuite — two
+  /// concurrent shards sharing one literal path race on the suite
+  /// snapshot (the second shard's "first save" finds the first
+  /// shard's identical file and patches instead of encoding).
   static std::string TempPath(const std::string& name) {
-    return ::testing::TempDir() + name;
+    return ::testing::TempDir() + std::to_string(getpid()) + "_" + name;
   }
 };
 
@@ -564,7 +571,8 @@ TEST_F(SnapshotTest, IndexSizeDriftIsFailedPrecondition) {
 TEST(SnapshotUnitTest, EmptyWorkloadRoundTrips) {
   // Zero queries is a valid (if degenerate) snapshot: the framing,
   // epoch, and empty sections must round-trip.
-  const std::string path = ::testing::TempDir() + "empty.snap";
+  const std::string path =
+      ::testing::TempDir() + std::to_string(getpid()) + "_empty.snap";
   SnapshotEpoch epoch;
   epoch.base_schema_hash = 7;
   Status st = SaveSnapshot(path, {}, {}, {}, epoch);
