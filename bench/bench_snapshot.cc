@@ -1,19 +1,23 @@
 // Snapshot restart cost: cold workload build (optimizer calls + seal)
-// vs saving and re-loading the sealed caches from a snapshot file
-// (docs/SNAPSHOT_FORMAT.md) — the what-if service's restart path. The
-// restored caches must price bit-identically to the freshly built ones
-// (sampled configurations per query AND a full greedy-advisor run are
-// compared field for field); the load-vs-build speedup is the point,
-// and this harness doubles as the CI guard that restores never diverge.
+// vs re-loading the sealed caches from a snapshot file two ways —
+// decode-load (copy every arena onto the heap) and mmap-load (format
+// v3 zero-copy: validate once, borrow the arenas straight from the
+// mapped file) — the what-if service's restart paths (docs/
+// SNAPSHOT_FORMAT.md). Both restored forms must price bit-identically
+// to the freshly built caches (sampled configurations per query AND a
+// full greedy-advisor run are compared field for field); the
+// load-vs-build and mmap-vs-decode speedups are the point, and this
+// harness doubles as the CI guard that restores never diverge.
 //
 //   $ ./bench_snapshot [replicas] [--smoke] [--json out.json]
-//                      [--min-speedup X]
+//                      [--min-speedup X] [--min-mmap-speedup X]
 //
 // --smoke shrinks replication to 1x for CI/sanitizer runs but still
-// exercises build -> save -> load -> verify end to end, failing (exit 1)
-// on any divergence or snapshot error. --min-speedup X additionally
-// fails the run when snapshot-load is not at least X times faster than
-// the cold build.
+// exercises build -> save -> load -> map -> verify end to end, failing
+// (exit 1) on any divergence or snapshot error. --min-speedup X
+// additionally fails the run when snapshot-load is not at least X times
+// faster than the cold build; --min-mmap-speedup X fails it when
+// mmap-load is not at least X times faster than decode-load.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +33,7 @@ namespace pinum {
 namespace {
 
 int Run(int replicas, bool smoke, const std::string& json_path,
-        double min_speedup) {
+        double min_speedup, double min_mmap_speedup) {
   // Cold path: what every advisor session pays without persistence
   // (the shared serving preamble times the build).
   auto setup = bench::MakeServingSetup(replicas);
@@ -76,6 +80,26 @@ int Run(int replicas, bool smoke, const std::string& json_path,
     snapshot = std::move(*loaded);
     if (p == 0 || ms < load_ms) load_ms = ms;
   }
+
+  // Zero-copy path: same file, mapped instead of decoded. The second
+  // and later passes are pure page-cache hits — exactly the always-on
+  // restart this path exists for.
+  double map_ms = 0;
+  WorkloadCacheResult mapped;
+  for (int p = 0; p < passes; ++p) {
+    Stopwatch map_timer;
+    auto m = builder.LoadSnapshotMapped(path);
+    const double ms = map_timer.ElapsedMillis();
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      std::remove(path.c_str());
+      return 1;
+    }
+    mapped = std::move(*m);
+    if (p == 0 || ms < map_ms) map_ms = ms;
+  }
+  // Unlinked before any cost is asked: the mapping (not the directory
+  // entry) is what keeps the arenas alive.
   std::remove(path.c_str());
 
   // Identity guard 1: sampled configurations per query, bitwise.
@@ -87,12 +111,13 @@ int Run(int replicas, bool smoke, const std::string& json_path,
           bench::RandomAtomicConfig(queries[qi], set, &rng);
       const double fresh = built->sealed[qi].Cost(config);
       const double restored = snapshot.sealed[qi].Cost(config);
+      const double mmapped = mapped.sealed[qi].Cost(config);
       // Bitwise identity; +inf == +inf, so the sentinel needs no case.
-      if (fresh != restored) {
+      if (fresh != restored || fresh != mmapped) {
         std::fprintf(stderr,
                      "FAIL: restored cost diverges on query %zu trial %d: "
-                     "%.17g vs %.17g\n",
-                     qi, t, fresh, restored);
+                     "%.17g vs %.17g (decode) vs %.17g (mmap)\n",
+                     qi, t, fresh, restored, mmapped);
         return 1;
       }
     }
@@ -112,8 +137,20 @@ int Run(int replicas, bool smoke, const std::string& json_path,
                  "FAIL: advisor output from restored caches diverges\n");
     return 1;
   }
+  const AdvisorResult from_mapped =
+      RunGreedyAdvisor(mapped.sealed, set, aopts);
+  if (fresh.chosen != from_mapped.chosen ||
+      fresh.workload_cost_before != from_mapped.workload_cost_before ||
+      fresh.workload_cost_after != from_mapped.workload_cost_after ||
+      fresh.total_size_bytes != from_mapped.total_size_bytes ||
+      fresh.evaluations != from_mapped.evaluations) {
+    std::fprintf(stderr,
+                 "FAIL: advisor output from mapped caches diverges\n");
+    return 1;
+  }
 
   const double speedup = build_ms / (load_ms > 0 ? load_ms : 1e-9);
+  const double mmap_speedup = load_ms / (map_ms > 0 ? map_ms : 1e-9);
   std::printf("# snapshot file: %lld bytes for %zu sealed caches "
               "(%zu plans, %zu terms, %zu postings)\n",
               static_cast<long long>(file_bytes), snapshot.sealed.size(),
@@ -124,7 +161,9 @@ int Run(int replicas, bool smoke, const std::string& json_path,
               build_ms, static_cast<long long>(optimizer_calls));
   std::printf("%-28s %12.1f %16d\n", "snapshot save", save_ms, 0);
   std::printf("%-28s %12.2f %16d   (%.0fx faster than building)\n",
-              "snapshot load", load_ms, 0, speedup);
+              "snapshot load (decode)", load_ms, 0, speedup);
+  std::printf("%-28s %12.2f %16d   (%.1fx faster than decoding)\n",
+              "snapshot load (mmap)", map_ms, 0, mmap_speedup);
 
   if (!json_path.empty()) {
     bench::JsonSummary summary;
@@ -137,8 +176,11 @@ int Run(int replicas, bool smoke, const std::string& json_path,
     summary.Set("optimizer_calls", optimizer_calls);
     summary.Set("snapshot_save_ms", save_ms);
     summary.Set("snapshot_load_ms", load_ms);
+    summary.Set("snapshot_mmap_ms", map_ms);
     summary.Set("load_speedup", speedup);
+    summary.Set("mmap_speedup", mmap_speedup);
     summary.Set("min_speedup", min_speedup);
+    summary.Set("min_mmap_speedup", min_mmap_speedup);
     summary.Set("chosen_indexes", static_cast<int64_t>(restored.chosen.size()));
     summary.Set("workload_cost_after", restored.workload_cost_after);
     if (!summary.WriteTo(json_path)) return 1;
@@ -148,6 +190,12 @@ int Run(int replicas, bool smoke, const std::string& json_path,
     std::fprintf(stderr,
                  "FAIL: snapshot load speedup %.1fx below the %.1fx floor\n",
                  speedup, min_speedup);
+    return 1;
+  }
+  if (min_mmap_speedup > 0 && mmap_speedup < min_mmap_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: mmap-vs-decode speedup %.1fx below the %.1fx floor\n",
+                 mmap_speedup, min_mmap_speedup);
     return 1;
   }
   return 0;
@@ -161,6 +209,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
   double min_speedup = 0;
+  double min_mmap_speedup = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -168,11 +217,15 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
       min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-mmap-speedup") == 0 &&
+               i + 1 < argc) {
+      min_mmap_speedup = std::atof(argv[++i]);
     } else {
       replicas = std::atoi(argv[i]);
       if (replicas < 1) replicas = 1;
     }
   }
   if (replicas < 0) replicas = smoke ? 1 : 3;
-  return pinum::Run(replicas, smoke, json_path, min_speedup);
+  return pinum::Run(replicas, smoke, json_path, min_speedup,
+                    min_mmap_speedup);
 }

@@ -7,15 +7,19 @@
 // With --save the sealed caches are persisted to a versioned snapshot
 // file (docs/SNAPSHOT_FORMAT.md); with --load the build step is skipped
 // entirely — no optimizer call is made — and the advisor serves from the
-// restored caches, with bit-identical suggestions. With --reseal K the
+// restored caches, with bit-identical suggestions. --load-mmap goes one
+// step further: the cache section is not even copied — the file is
+// mapped read-only and the advisor serves straight from the page cache
+// (format v3's arena records are position-independent), printing the
+// map-vs-decode wall time side by side. With --reseal K the
 // tool additionally simulates statistics drift staling ~K queries
 // (seeded, src/workload/drift.h) and repairs the serving state through
 // WorkloadCacheBuilder::RebuildQueries — k queries' worth of optimizer
 // calls instead of a whole-workload rebuild — before advising; combined
 // with --save, the re-save patches only the resealed cache records.
 //
-//   $ ./advisor_tool [budget_mb] [--save FILE | --load FILE]
-//                    [--reseal K]
+//   $ ./advisor_tool [budget_mb] [--save FILE | --load FILE |
+//                    --load-mmap FILE] [--reseal K]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,16 +39,21 @@ int main(int argc, char** argv) {
   AdvisorOptions aopts;
   std::string save_path;
   std::string load_path;
+  std::string mmap_path;
   long long reseal_target = -1;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--save") == 0 ||
-        std::strcmp(argv[a], "--load") == 0) {
+        std::strcmp(argv[a], "--load") == 0 ||
+        std::strcmp(argv[a], "--load-mmap") == 0) {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "%s requires a file path\n", argv[a]);
         return 2;
       }
-      const bool is_save = std::strcmp(argv[a], "--save") == 0;
-      (is_save ? save_path : load_path) = argv[++a];
+      std::string& slot = std::strcmp(argv[a], "--save") == 0 ? save_path
+                          : std::strcmp(argv[a], "--load") == 0
+                              ? load_path
+                              : mmap_path;
+      slot = argv[++a];
     } else if (std::strcmp(argv[a], "--reseal") == 0) {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "--reseal requires a stale-query target\n");
@@ -54,18 +63,23 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[a], "--", 2) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: advisor_tool [budget_mb] "
-                   "[--save FILE | --load FILE] [--reseal K]\n",
+                   "[--save FILE | --load FILE | --load-mmap FILE] "
+                   "[--reseal K]\n",
                    argv[a]);
       return 2;
     } else {
       aopts.budget_bytes = std::atoll(argv[a]) * 1024 * 1024;
     }
   }
-  if (!save_path.empty() && !load_path.empty()) {
-    std::fprintf(stderr, "--save and --load are mutually exclusive\n");
+  if (static_cast<int>(!save_path.empty()) +
+          static_cast<int>(!load_path.empty()) +
+          static_cast<int>(!mmap_path.empty()) >
+      1) {
+    std::fprintf(stderr,
+                 "--save, --load, and --load-mmap are mutually exclusive\n");
     return 2;
   }
-  if (reseal_target >= 0 && !load_path.empty()) {
+  if (reseal_target >= 0 && (!load_path.empty() || !mmap_path.empty())) {
     std::fprintf(stderr, "--reseal needs a fresh build (not --load)\n");
     return 2;
   }
@@ -91,7 +105,67 @@ int main(int argc, char** argv) {
   // parallel PINUM build, or a snapshot written by an earlier --save —
   // the restart path, milliseconds instead of optimizer calls.
   std::vector<SealedCache> serving;
-  if (!load_path.empty()) {
+  if (!mmap_path.empty()) {
+    // Zero-copy restart: validate + mmap once, then serve straight from
+    // the mapped arena images. The caches borrow the mapping (each
+    // arena co-owns the file handle), so `serving` stays valid after
+    // the result below goes out of scope.
+    Stopwatch map_timer;
+    std::vector<std::string> names;
+    auto mapped = builder.LoadSnapshotMapped(mmap_path, &names);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "%s\n", mapped.status().ToString().c_str());
+      return 1;
+    }
+    const double map_ms = map_timer.ElapsedMillis();
+    const std::vector<Query>& queries = workload->queries();
+    bool same_workload = names.size() == queries.size();
+    for (size_t i = 0; same_workload && i < queries.size(); ++i) {
+      same_workload = names[i] == queries[i].name;
+    }
+    if (!same_workload) {
+      std::fprintf(stderr,
+                   "snapshot %s holds %zu caches for a different query set; "
+                   "this workload has %zu queries — rebuild with --save\n",
+                   mmap_path.c_str(), names.size(), queries.size());
+      return 1;
+    }
+    const std::vector<size_t> stale =
+        builder.StaleQueries(names, mapped->stamps, queries);
+    if (!stale.empty()) {
+      // Repair in place: RebuildQueries replaces exactly the stale
+      // queries' borrowed caches with fresh heap seals; the rest keep
+      // serving from the mapping.
+      std::vector<std::string> stale_names;
+      for (size_t i : stale) stale_names.push_back(queries[i].name);
+      Status st = builder.RebuildQueries(stale_names, queries, &*mapped);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    // The headline number: map-and-validate vs decode-everything on the
+    // same file (both serve bit-identical costs; only the copies differ).
+    Stopwatch decode_timer;
+    auto decoded = builder.LoadSnapshot(mmap_path);
+    const double decode_ms =
+        decoded.ok() ? decode_timer.ElapsedMillis() : -1.0;
+    size_t borrowed_bytes = 0;
+    for (const SealedCache& c : mapped->sealed) {
+      borrowed_bytes += c.ArenaBytes();
+    }
+    std::printf("snapshot mapped: %zu sealed caches (%.2f MB of arenas "
+                "borrowed from the page cache) in %.2f ms; %zu stale "
+                "resealed\n",
+                mapped->sealed.size(), borrowed_bytes / 1048576.0, map_ms,
+                stale.size());
+    if (decode_ms >= 0) {
+      std::printf("decode-load of the same file: %.2f ms -> mmap is "
+                  "%.1fx faster to first answer\n",
+                  decode_ms, map_ms > 0 ? decode_ms / map_ms : 0.0);
+    }
+    serving = std::move(mapped->sealed);
+  } else if (!load_path.empty()) {
     Stopwatch load_timer;
     auto snapshot = builder.LoadSnapshot(load_path);
     if (!snapshot.ok()) {

@@ -1,0 +1,99 @@
+// Arena backing for the sealed serving form: one relocatable,
+// 8-byte-aligned byte image per cache, read through typed span views.
+//
+// The point of the indirection is that the same read-only view code
+// serves two backings:
+//
+//  - an *owned* arena: Seal() (and snapshot decode) packs the cache's
+//    flat arrays into one heap buffer, owned via the shared_ptr below —
+//    copies of a SealedCache share the immutable buffer instead of
+//    deep-copying eleven vectors, which is what makes publishing a
+//    serving generation (a whole-result copy) cheap;
+//  - a *borrowed* arena: a view straight into an mmap'ed snapshot file
+//    (src/inum/snapshot_mmap.h). The owner handle then pins the mapping,
+//    so a cache outliving the MappedWorkloadSnapshot that produced it is
+//    still backed by live pages.
+//
+// Images are relocatable by construction — internal references are byte
+// offsets from the image start, never pointers — so the bytes a heap
+// arena holds are exactly the bytes the snapshot writes, and mapping a
+// file needs no fix-up pass. Every array an image holds starts at an
+// offset that is a multiple of kArenaAlign, which together with an
+// aligned image start (malloc'ed buffers and page-aligned mappings both
+// qualify) makes the typed views below safely dereferenceable.
+#ifndef PINUM_INUM_ARENA_H_
+#define PINUM_INUM_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+namespace pinum {
+
+/// Alignment every arena image start and every in-image array offset is
+/// a multiple of: the strictest alignment among the element types the
+/// sealed form stores (double / uint64_t).
+inline constexpr size_t kArenaAlign = 8;
+
+/// `n` rounded up to the next multiple of kArenaAlign.
+constexpr size_t ArenaAlignUp(size_t n) {
+  return (n + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+
+/// A read-only view of `size` contiguous T — the serve-time face of an
+/// arena-resident array. Non-owning: the SealedCache holding the span
+/// also holds the Arena that keeps the bytes alive.
+template <typename T>
+class ArenaSpan {
+ public:
+  ArenaSpan() = default;
+  ArenaSpan(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// One immutable byte image plus whatever keeps it alive: a heap buffer
+/// (owned arena) or a file mapping (borrowed arena). Copies share the
+/// owner — arenas are immutable after construction, so sharing is safe
+/// across threads (the same guarantee SealedCache already documents).
+struct Arena {
+  const char* data = nullptr;
+  size_t size = 0;
+  /// Type-erased keep-alive handle. For owned arenas this is the buffer
+  /// itself; for borrowed arenas, the mapped file. Null only for the
+  /// empty (default-constructed) arena.
+  std::shared_ptr<const void> owner;
+
+  bool empty() const { return size == 0; }
+
+  /// Heap-allocates an owned arena holding a copy of `bytes[0, n)`.
+  /// operator new's fundamental alignment (>= 8 everywhere this builds)
+  /// provides the image-start alignment contract.
+  static Arena CopyOf(const char* bytes, size_t n);
+};
+
+inline Arena Arena::CopyOf(const char* bytes, size_t n) {
+  Arena arena;
+  if (n == 0) return arena;
+  std::shared_ptr<char[]> buffer(new char[n]);
+  std::memcpy(buffer.get(), bytes, n);
+  arena.data = buffer.get();
+  arena.size = n;
+  arena.owner = std::move(buffer);
+  return arena;
+}
+
+}  // namespace pinum
+
+#endif  // PINUM_INUM_ARENA_H_

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstring>
+#include <limits>
 #include <map>
 #include <tuple>
+#include <type_traits>
 
 #include "common/simd.h"
 
@@ -73,15 +76,230 @@ uint64_t SealedCache::NextSealId() {
   return counter.fetch_add(1) + 1;
 }
 
+SealedCache& SealedCache::operator=(SealedCache&& other) noexcept {
+  if (this == &other) return *this;
+  arena_ = std::move(other.arena_);
+  universe_ = other.universe_;
+  seal_id_ = other.seal_id_;
+  plans_pruned_ = other.plans_pruned_;
+  term_bases_ = other.term_bases_;
+  per_index_values_ = other.per_index_values_;
+  posting_offsets_ = other.posting_offsets_;
+  posting_terms_ = other.posting_terms_;
+  posting_values_ = other.posting_values_;
+  posting_ids_ = other.posting_ids_;
+  plans_ = other.plans_;
+  plan_term_ids_ = other.plan_term_ids_;
+  plan_multipliers_ = other.plan_multipliers_;
+  // The source must not keep views into an arena it no longer owns:
+  // reset it to the default-constructed (empty-cache) state.
+  other.Reset();
+  return *this;
+}
+
+void SealedCache::Reset() {
+  arena_ = Arena();
+  universe_ = 0;
+  seal_id_ = 0;
+  plans_pruned_ = 0;
+  term_bases_ = {};
+  per_index_values_ = {};
+  posting_offsets_ = {};
+  posting_terms_ = {};
+  posting_values_ = {};
+  posting_ids_ = {};
+  plans_ = {};
+  plan_term_ids_ = {};
+  plan_multipliers_ = {};
+}
+
+namespace {
+
+static_assert(std::is_trivially_copyable_v<pinum::IndexId> &&
+              sizeof(pinum::IndexId) == 4);
+
+/// The flat arrays Seal computes, packed into one image afterwards.
+struct SealedArrays {
+  std::vector<double> term_bases;
+  std::vector<double> per_index_values;
+  std::vector<uint32_t> posting_offsets;
+  std::vector<uint32_t> posting_terms;
+  std::vector<double> posting_values;
+  std::vector<IndexId> posting_ids;
+  std::vector<uint32_t> plan_term_ids;
+  std::vector<double> plan_multipliers;
+};
+
+}  // namespace
+
+std::string SealedCache::PackEmptyImage() {
+  // The empty universe's canonical form keeps the on-disk CSR invariant
+  // (universe + 1 offsets): a single zero offset. Sealing an empty
+  // build-time cache over a zero-id universe produces exactly that
+  // image, and a cache restored from it is behaviourally identical to a
+  // default-constructed one — with universe 0 no code path reads past
+  // offset 0.
+  const SealedCache empty = Seal(InumCache(), 0);
+  return std::string(empty.arena_.data, empty.arena_.size);
+}
+
+void SealedCache::BindImage(Arena arena) {
+  arena_ = std::move(arena);
+  const char* d = arena_.data;
+  uint64_t universe = 0;
+  uint64_t pruned = 0;
+  std::memcpy(&universe, d, 8);
+  std::memcpy(&pruned, d + 8, 8);
+  universe_ = static_cast<size_t>(universe);
+  plans_pruned_ = static_cast<size_t>(pruned);
+
+  uint64_t dir[kImgArrayCount][2];
+  std::memcpy(dir, d + kImageDirectoryAt, sizeof(dir));
+  auto span_at = [&](size_t i, auto* tag) {
+    using T = std::remove_pointer_t<decltype(tag)>;
+    return ArenaSpan<T>(reinterpret_cast<const T*>(d + dir[i][0]),
+                        static_cast<size_t>(dir[i][1]));
+  };
+  term_bases_ = span_at(kImgTermBases, static_cast<double*>(nullptr));
+  per_index_values_ = span_at(kImgMatrix, static_cast<double*>(nullptr));
+  posting_offsets_ =
+      span_at(kImgPostingOffsets, static_cast<uint32_t*>(nullptr));
+  posting_terms_ = span_at(kImgPostingTerms, static_cast<uint32_t*>(nullptr));
+  posting_values_ = span_at(kImgPostingValues, static_cast<double*>(nullptr));
+  posting_ids_ = span_at(kImgPostingIds, static_cast<IndexId*>(nullptr));
+  plans_ = span_at(kImgPlans, static_cast<Plan*>(nullptr));
+  plan_term_ids_ = span_at(kImgPlanTermIds, static_cast<uint32_t*>(nullptr));
+  plan_multipliers_ =
+      span_at(kImgPlanMultipliers, static_cast<double*>(nullptr));
+  seal_id_ = NextSealId();
+}
+
+Status SealedCache::ValidateImage(const char* data, size_t size) {
+  auto corrupt = [](const std::string& what) {
+    return Status::Internal("snapshot corrupt: " + what);
+  };
+  if (size < kImageArraysAt) {
+    return corrupt("cache image is smaller than its header and directory");
+  }
+  if (size % kArenaAlign != 0) {
+    return corrupt("cache image size is not 8-byte aligned");
+  }
+  uint64_t universe64 = 0;
+  std::memcpy(&universe64, data, 8);
+  if (universe64 >
+      static_cast<uint64_t>(std::numeric_limits<IndexId>::max())) {
+    return corrupt("universe size does not fit IndexId");
+  }
+  const size_t universe = static_cast<size_t>(universe64);
+
+  static constexpr size_t kElemBytes[kImgArrayCount] = {
+      8, 8, 4, 4, 8, 4, sizeof(Plan), 4, 8};
+  uint64_t dir[kImgArrayCount][2];
+  std::memcpy(dir, data + kImageDirectoryAt, sizeof(dir));
+  for (size_t i = 0; i < kImgArrayCount; ++i) {
+    const uint64_t offset = dir[i][0];
+    const uint64_t count = dir[i][1];
+    if (offset % kArenaAlign != 0) {
+      return corrupt("cache array offset is misaligned");
+    }
+    if (offset > size) {
+      return corrupt("cache array offset is out of bounds");
+    }
+    // Division instead of count * elem: no overflow to exploit.
+    if (count > (size - offset) / kElemBytes[i]) {
+      return corrupt("cache array overruns its image");
+    }
+  }
+  auto array = [&](size_t i, auto* tag) {
+    using T = std::remove_pointer_t<decltype(tag)>;
+    return ArenaSpan<T>(reinterpret_cast<const T*>(data + dir[i][0]),
+                        static_cast<size_t>(dir[i][1]));
+  };
+  const auto term_bases = array(kImgTermBases, static_cast<double*>(nullptr));
+  const auto matrix = array(kImgMatrix, static_cast<double*>(nullptr));
+  const auto offsets =
+      array(kImgPostingOffsets, static_cast<uint32_t*>(nullptr));
+  const auto posting_terms =
+      array(kImgPostingTerms, static_cast<uint32_t*>(nullptr));
+  const auto posting_values =
+      array(kImgPostingValues, static_cast<double*>(nullptr));
+  const auto posting_ids =
+      array(kImgPostingIds, static_cast<IndexId*>(nullptr));
+  const auto plans = array(kImgPlans, static_cast<Plan*>(nullptr));
+  const auto plan_term_ids =
+      array(kImgPlanTermIds, static_cast<uint32_t*>(nullptr));
+  const auto plan_multipliers =
+      array(kImgPlanMultipliers, static_cast<double*>(nullptr));
+
+  const size_t num_terms = term_bases.size();
+  // Division instead of universe * num_terms: no overflow to exploit.
+  if (num_terms == 0
+          ? !matrix.empty()
+          : matrix.size() % num_terms != 0 ||
+                matrix.size() / num_terms != universe) {
+    return corrupt("term matrix is not universe x terms");
+  }
+  if (offsets.size() != universe + 1) {
+    return corrupt("posting offsets do not cover the universe");
+  }
+  if (offsets.front() != 0 || offsets.back() != posting_terms.size() ||
+      posting_terms.size() != posting_values.size()) {
+    return corrupt("posting lists are not closed by their offsets");
+  }
+  for (size_t id = 0; id < universe; ++id) {
+    if (offsets[id] > offsets[id + 1]) {
+      return corrupt("posting offsets are not monotone");
+    }
+  }
+  for (size_t p = 0; p < posting_terms.size(); ++p) {
+    if (posting_terms[p] >= num_terms) {
+      return corrupt("posting names a term out of range");
+    }
+    if (!(posting_values[p] < term_bases[posting_terms[p]])) {
+      return corrupt("posting is not a strict improvement over its base");
+    }
+  }
+  // The stored posting-bearing id list (v3 stores it so mapped
+  // construction needs no derivation pass) must be exactly the ids with
+  // non-empty lists, ascending — the inverted sweep trusts it.
+  size_t bearing = 0;
+  for (size_t id = 0; id < universe; ++id) {
+    if (offsets[id + 1] > offsets[id]) {
+      if (bearing >= posting_ids.size() ||
+          posting_ids[bearing] != static_cast<IndexId>(id)) {
+        return corrupt("posting-bearing id list does not match the offsets");
+      }
+      ++bearing;
+    }
+  }
+  if (bearing != posting_ids.size()) {
+    return corrupt("posting-bearing id list does not match the offsets");
+  }
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0 && !(plans[i - 1].internal_cost <= plans[i].internal_cost)) {
+      return corrupt("plans are not sorted by internal cost");
+    }
+    if (static_cast<uint64_t>(plans[i].first_slot) + plans[i].num_slots >
+        plan_term_ids.size()) {
+      return corrupt("plan slots overrun the slot arrays");
+    }
+  }
+  if (plan_term_ids.size() != plan_multipliers.size()) {
+    return corrupt("plan slot arrays disagree in length");
+  }
+  for (uint32_t t : plan_term_ids) {
+    if (t >= num_terms) return corrupt("plan names a term out of range");
+  }
+  return Status::OK();
+}
+
 SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
-  SealedCache sealed;
-  sealed.seal_id_ = NextSealId();
   const std::vector<CachedPlan>& plans = cache.plans();
   const AccessCostTable& access = cache.access();
   const size_t n = plans.size();
   const size_t universe =
       static_cast<size_t>(std::max<IndexId>(num_index_ids, 0));
-  sealed.universe_ = universe;
 
   // ---- Terms: one per distinct (pos, req, column) slot requirement
   // across all plans. ----
@@ -169,18 +387,20 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
   for (size_t i = 0; i < n; ++i) {
     if (!pruned[i]) order.push_back(i);
   }
-  sealed.plans_pruned_ = n - order.size();
+  const size_t plans_pruned = n - order.size();
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return plans[a].internal_cost < plans[b].internal_cost;
   });
 
+  SealedArrays out;
+  std::vector<Plan> out_plans;
   std::vector<uint32_t> remap(terms.size(), UINT32_MAX);
   std::vector<uint32_t> kept;  // original term ids, in remapped order
   for (size_t idx : order) {
     const CachedPlan& plan = plans[idx];
     Plan compact;
     compact.internal_cost = plan.internal_cost;
-    compact.first_slot = static_cast<uint32_t>(sealed.plan_term_ids_.size());
+    compact.first_slot = static_cast<uint32_t>(out.plan_term_ids.size());
     compact.num_slots = static_cast<uint32_t>(plan.slots.size());
     for (size_t s = 0; s < plan.slots.size(); ++s) {
       uint32_t& target = remap[plan_terms[idx][s]];
@@ -188,10 +408,10 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
         target = static_cast<uint32_t>(kept.size());
         kept.push_back(plan_terms[idx][s]);
       }
-      sealed.plan_term_ids_.push_back(target);
-      sealed.plan_multipliers_.push_back(plan.slots[s].multiplier);
+      out.plan_term_ids.push_back(target);
+      out.plan_multipliers.push_back(plan.slots[s].multiplier);
     }
-    sealed.plans_.push_back(compact);
+    out_plans.push_back(compact);
   }
 
   // ---- Serving layout: bases, the index-major matrix (row id = every
@@ -199,48 +419,93 @@ SealedCache SealedCache::Seal(const InumCache& cache, IndexId num_index_ids) {
   // and CSR posting lists holding the strict improvements — entries with
   // row[id] < base, the only ones a min-fold can ever act on. ----
   const size_t num_terms = kept.size();
-  sealed.term_bases_.resize(num_terms);
+  out.term_bases.resize(num_terms);
   for (size_t k = 0; k < num_terms; ++k) {
-    sealed.term_bases_[k] = terms[kept[k]].base;
+    out.term_bases[k] = terms[kept[k]].base;
   }
-  sealed.per_index_values_.resize(universe * num_terms);
+  out.per_index_values.resize(universe * num_terms);
   for (size_t k = 0; k < num_terms; ++k) {
     const double* row = terms[kept[k]].row.data();
     for (size_t id = 0; id < universe; ++id) {
-      sealed.per_index_values_[id * num_terms + k] = row[id];
+      out.per_index_values[id * num_terms + k] = row[id];
     }
   }
 
-  sealed.posting_offsets_.assign(universe + 1, 0);
+  out.posting_offsets.assign(universe + 1, 0);
   for (size_t k = 0; k < num_terms; ++k) {
     const BuildTerm& term = terms[kept[k]];
     for (size_t id = 0; id < universe; ++id) {
-      if (term.row[id] < term.base) ++sealed.posting_offsets_[id + 1];
+      if (term.row[id] < term.base) ++out.posting_offsets[id + 1];
     }
   }
   for (size_t id = 0; id < universe; ++id) {
-    sealed.posting_offsets_[id + 1] += sealed.posting_offsets_[id];
+    out.posting_offsets[id + 1] += out.posting_offsets[id];
   }
-  sealed.posting_terms_.resize(sealed.posting_offsets_[universe]);
-  sealed.posting_values_.resize(sealed.posting_offsets_[universe]);
-  std::vector<uint32_t> cursor(sealed.posting_offsets_.begin(),
-                               sealed.posting_offsets_.end() - 1);
+  out.posting_terms.resize(out.posting_offsets[universe]);
+  out.posting_values.resize(out.posting_offsets[universe]);
+  std::vector<uint32_t> cursor(out.posting_offsets.begin(),
+                               out.posting_offsets.end() - 1);
   // Term-major outer loop keeps each id's postings sorted by term.
   for (size_t k = 0; k < num_terms; ++k) {
     const BuildTerm& term = terms[kept[k]];
     for (size_t id = 0; id < universe; ++id) {
       if (term.row[id] < term.base) {
         const uint32_t at = cursor[id]++;
-        sealed.posting_terms_[at] = static_cast<uint32_t>(k);
-        sealed.posting_values_[at] = term.row[id];
+        out.posting_terms[at] = static_cast<uint32_t>(k);
+        out.posting_values[at] = term.row[id];
       }
     }
   }
   for (size_t id = 0; id < universe; ++id) {
-    if (sealed.posting_offsets_[id + 1] > sealed.posting_offsets_[id]) {
-      sealed.posting_ids_.push_back(static_cast<IndexId>(id));
+    if (out.posting_offsets[id + 1] > out.posting_offsets[id]) {
+      out.posting_ids.push_back(static_cast<IndexId>(id));
     }
   }
+
+  // ---- Pack the arrays into one relocatable arena image (the bytes a
+  // v3 snapshot stores verbatim) and bind the serving views over it. ----
+  struct Entry {
+    const void* data;
+    size_t count;
+    size_t elem;
+  };
+  const Entry entries[kImgArrayCount] = {
+      {out.term_bases.data(), out.term_bases.size(), 8},
+      {out.per_index_values.data(), out.per_index_values.size(), 8},
+      {out.posting_offsets.data(), out.posting_offsets.size(), 4},
+      {out.posting_terms.data(), out.posting_terms.size(), 4},
+      {out.posting_values.data(), out.posting_values.size(), 8},
+      {out.posting_ids.data(), out.posting_ids.size(), 4},
+      {out_plans.data(), out_plans.size(), sizeof(Plan)},
+      {out.plan_term_ids.data(), out.plan_term_ids.size(), 4},
+      {out.plan_multipliers.data(), out.plan_multipliers.size(), 8},
+  };
+  size_t at = kImageArraysAt;
+  uint64_t dir[kImgArrayCount][2];
+  for (size_t i = 0; i < kImgArrayCount; ++i) {
+    dir[i][0] = at;
+    dir[i][1] = entries[i].count;
+    at += ArenaAlignUp(entries[i].count * entries[i].elem);
+  }
+  std::shared_ptr<char[]> buffer(new char[at]());
+  const uint64_t universe64 = universe;
+  const uint64_t pruned64 = plans_pruned;
+  std::memcpy(buffer.get(), &universe64, 8);
+  std::memcpy(buffer.get() + 8, &pruned64, 8);
+  std::memcpy(buffer.get() + kImageDirectoryAt, dir, sizeof(dir));
+  for (size_t i = 0; i < kImgArrayCount; ++i) {
+    if (entries[i].count != 0) {
+      std::memcpy(buffer.get() + dir[i][0], entries[i].data,
+                  entries[i].count * entries[i].elem);
+    }
+  }
+  Arena arena;
+  arena.data = buffer.get();
+  arena.size = at;
+  arena.owner = std::move(buffer);
+
+  SealedCache sealed;
+  sealed.BindImage(std::move(arena));
   return sealed;
 }
 

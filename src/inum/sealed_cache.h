@@ -43,19 +43,30 @@
 // id) is bit-identical to Cost(base + {id}) — skipped terms are exactly
 // those whose min the extra index cannot change.
 //
+// Storage: every array lives in ONE relocatable, 8-byte-aligned arena
+// image (src/inum/arena.h) and is read through ArenaSpan views. The
+// image is what Seal() builds on the heap, what the snapshot layer
+// writes to disk verbatim (the v3 cache record IS the image — see
+// docs/SNAPSHOT_FORMAT.md), and what snapshot_mmap.{h,cc} serves
+// straight out of a mapped file with zero per-element decode. Copying a
+// SealedCache shares the immutable arena (cheap — publishing a serving
+// generation copies a whole workload's caches); moving transfers the
+// backing and leaves the source default-constructed. Both preserve
+// seal_id(), so CostContexts pinned before a copy/move stay valid
+// against the surviving cache.
+//
 // The API is seal-only by design: InumCache stays the mutable build-time
 // type, SealedCache the immutable serve-time type; there is no Unseal.
-// The sealed form is also the unit of persistence: its flat vectors are
-// exactly what snapshot.{h,cc} writes to disk (SnapshotCodec is the one
-// friend with field access), so a restored cache serves through the same
-// code paths — and with the same bits — as a freshly sealed one.
 #ifndef PINUM_INUM_SEALED_CACHE_H_
 #define PINUM_INUM_SEALED_CACHE_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "inum/arena.h"
 #include "inum/cache.h"
 
 namespace pinum {
@@ -65,6 +76,22 @@ class SnapshotCodec;
 class SealedCache {
  public:
   SealedCache() = default;
+
+  /// Copies share the immutable arena (a refcount bump, not a deep
+  /// copy); both caches answer bit-identically and keep the seal id.
+  SealedCache(const SealedCache&) = default;
+  SealedCache& operator=(const SealedCache&) = default;
+
+  /// Moves transfer the arena backing and reset the source to the
+  /// default-constructed state — a moved-from cache holds no dangling
+  /// views (it prices everything as the empty cache does). The
+  /// destination keeps the seal id, so CostContexts prepared against
+  /// the source before the move stay valid against the destination
+  /// (the contract RebuildQueries' in-place slot replacement and the
+  /// serving engine's generation plumbing rely on; pinned by the
+  /// move-regression test alongside ScratchReuseAcrossResealServesLiveCosts).
+  SealedCache(SealedCache&& other) noexcept { *this = std::move(other); }
+  SealedCache& operator=(SealedCache&& other) noexcept;
 
   /// A pinned evaluation context: one base configuration's resolved
   /// per-term values plus its plan-scan result. Prepared once per
@@ -155,10 +182,9 @@ class SealedCache {
                             size_t map_size, double* out) const;
 
   /// Universe ids with non-empty posting lists: the only ids whose
-  /// addition can change any cost this cache serves.
-  const std::vector<IndexId>& PostingBearingIds() const {
-    return posting_ids_;
-  }
+  /// addition can change any cost this cache serves. A view into the
+  /// arena — valid as long as this cache (or any copy) is alive.
+  ArenaSpan<IndexId> PostingBearingIds() const { return posting_ids_; }
 
   /// Plans surviving dominance pruning.
   size_t NumPlans() const { return plans_.size(); }
@@ -177,28 +203,75 @@ class SealedCache {
   /// unreseal'd after append-only universe growth (incremental reseal).
   size_t UniverseSize() const { return universe_; }
   /// Process-unique identity of this seal's *contents*: freshly drawn by
-  /// every Seal() and snapshot decode (never 0, never reused within a
-  /// process), carried along by copies and moves — a copy answers
-  /// bit-identically, so contexts pinned against either stay valid.
-  /// Assigning a different cache into a slot (RebuildQueries replacing a
-  /// resealed query in place) changes the slot's seal id, which is how
-  /// CostContext/EvalScratch staleness is detected.
+  /// every Seal() and snapshot decode/map (never 0, never reused within
+  /// a process), carried along by copies and moves — both answer
+  /// bit-identically, so contexts pinned against the original stay
+  /// valid. Assigning a different cache into a slot (RebuildQueries
+  /// replacing a resealed query in place) changes the slot's seal id,
+  /// which is how CostContext/EvalScratch staleness is detected.
   uint64_t seal_id() const { return seal_id_; }
+  /// Bytes of the backing arena image (0 for a default-constructed
+  /// cache) — also exactly this cache's v3 snapshot record size.
+  size_t ArenaBytes() const { return arena_.size; }
 
  private:
-  /// The persistence layer (src/inum/snapshot.cc) serializes and
-  /// restores the flat vectors below verbatim; any new field must be
-  /// added to the codec and to docs/SNAPSHOT_FORMAT.md in the same
-  /// change (bump kSnapshotFormatVersion).
+  /// The persistence layer (src/inum/snapshot.cc, snapshot_mmap.cc)
+  /// writes the arena image verbatim and rebinds views over validated
+  /// bytes; any layout change must bump kSnapshotFormatVersion and be
+  /// reflected in docs/SNAPSHOT_FORMAT.md in the same change.
   friend class SnapshotCodec;
 
   /// One surviving plan: internal cost plus a slice of
-  /// (plan_term_ids_, plan_multipliers_) in original slot order.
+  /// (plan_term_ids_, plan_multipliers_) in original slot order. Stored
+  /// in the arena image verbatim — layout is part of the snapshot
+  /// format (16 bytes: f64 internal_cost, u32 first_slot, u32
+  /// num_slots).
   struct Plan {
     double internal_cost = 0;
     uint32_t first_slot = 0;
     uint32_t num_slots = 0;
   };
+  static_assert(sizeof(Plan) == 16 && alignof(Plan) == kArenaAlign,
+                "Plan is persisted verbatim; its layout is format-stable");
+
+  // ---- Arena image layout (all offsets relative to the image start,
+  // every array offset a multiple of kArenaAlign; see
+  // docs/SNAPSHOT_FORMAT.md "cache record (v3)") --------------------------
+  /// Array order in the image directory.
+  enum ImageArray : size_t {
+    kImgTermBases = 0,
+    kImgMatrix = 1,
+    kImgPostingOffsets = 2,
+    kImgPostingTerms = 3,
+    kImgPostingValues = 4,
+    kImgPostingIds = 5,
+    kImgPlans = 6,
+    kImgPlanTermIds = 7,
+    kImgPlanMultipliers = 8,
+    kImgArrayCount = 9,
+  };
+  /// u64 universe + u64 plans_pruned, then the directory.
+  static constexpr size_t kImageDirectoryAt = 16;
+  /// Directory entry: u64 byte offset + u64 element count.
+  static constexpr size_t kImageArraysAt =
+      kImageDirectoryAt + kImgArrayCount * 16;
+
+  /// Structural validation of an untrusted image — every check the
+  /// serving scans rely on (alignment, bounds, CSR closure, plan
+  /// ordering, strict-improvement postings, posting-id consistency).
+  /// Returns kInternal before any view is handed out; shared by the
+  /// snapshot decode path and MappedWorkloadSnapshot::Map.
+  static Status ValidateImage(const char* data, size_t size);
+
+  /// Installs views over `arena` (whose bytes must already be a valid
+  /// image — Seal's own packing or ValidateImage-checked) and draws a
+  /// fresh seal id.
+  void BindImage(Arena arena);
+
+  /// The canonical image of a default-constructed (never sealed) cache:
+  /// universe 0, no plans, the CSR invariant's single {0} offset. What
+  /// SnapshotCodec encodes when asked to persist a default cache.
+  static std::string PackEmptyImage();
 
   /// Min over plans of internal + sum(multiplier x values[term]), seeded
   /// with upper bound `seed` (kInfiniteCost for a from-scratch scan);
@@ -213,33 +286,40 @@ class SealedCache {
   /// Draws the next process-unique seal id (atomic; seals run on pools).
   static uint64_t NextSealId();
 
-  /// One past the largest IndexId the sealed vectors cover.
+  /// Back to the default-constructed state (empty arena, no views).
+  void Reset();
+
+  /// The one backing buffer every span below points into: heap-owned
+  /// (Seal, snapshot decode) or borrowed from a mapped snapshot file.
+  Arena arena_;
+
+  /// One past the largest IndexId the sealed arrays cover.
   size_t universe_ = 0;
 
-  /// See seal_id(). Not persisted: snapshot decode draws a fresh one.
+  /// See seal_id(). Not persisted: decode/map draws a fresh one.
   uint64_t seal_id_ = 0;
 
   /// Per-term cost under the empty configuration (heap for unordered
   /// slots, infinite for ordered/probe slots).
-  std::vector<double> term_bases_;
+  ArenaSpan<double> term_bases_;
   /// Index-major term matrix: row id (length NumTerms()) holds every
   /// term's cost under the singleton configuration {id}; entries for
   /// terms the index cannot serve equal the term's base. Configuration
   /// pricing min-folds whole rows, contiguously.
-  std::vector<double> per_index_values_;
+  ArenaSpan<double> per_index_values_;
 
   /// CSR posting lists over [0, universe_): for id, the terms t (with
   /// their per-index values) where matrix[id][t] < term_bases_[t] —
   /// the only terms whose resolved min the index can ever lower.
-  std::vector<uint32_t> posting_offsets_;  // universe_ + 1 entries
-  std::vector<uint32_t> posting_terms_;
-  std::vector<double> posting_values_;
+  ArenaSpan<uint32_t> posting_offsets_;  // universe_ + 1 entries
+  ArenaSpan<uint32_t> posting_terms_;
+  ArenaSpan<double> posting_values_;
   /// Ascending ids with a non-empty posting list.
-  std::vector<IndexId> posting_ids_;
+  ArenaSpan<IndexId> posting_ids_;
 
-  std::vector<Plan> plans_;  // ascending internal_cost
-  std::vector<uint32_t> plan_term_ids_;
-  std::vector<double> plan_multipliers_;
+  ArenaSpan<Plan> plans_;  // ascending internal_cost
+  ArenaSpan<uint32_t> plan_term_ids_;
+  ArenaSpan<double> plan_multipliers_;
   size_t plans_pruned_ = 0;
 };
 

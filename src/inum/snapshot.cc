@@ -2,50 +2,43 @@
 // docs/SNAPSHOT_FORMAT.md. Keep the two in lockstep: any change to the
 // bytes written here must bump kSnapshotFormatVersion (snapshot.h) and
 // be recorded in the spec's version history.
+//
+// Byte-level framing, validation, and the cache codec live in
+// inum/snapshot_internal.h, shared with the zero-copy mapped reader
+// (snapshot_mmap.cc) so both load paths enforce identical checks.
 #include "inum/snapshot.h"
 
 #include <algorithm>
-#include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <limits>
 #include <map>
-#include <type_traits>
 #include <utility>
+
+#include "inum/snapshot_internal.h"
 
 namespace pinum {
 
+using snapshot_internal::ByteReader;
+using snapshot_internal::ByteWriter;
+using snapshot_internal::CacheRecord;
+using snapshot_internal::CheckEpochCompatible;
+using snapshot_internal::Corrupt;
+using snapshot_internal::DecodeEpoch;
+using snapshot_internal::DecodeQueries;
+using snapshot_internal::FnvBytes;
+using snapshot_internal::kEndianMarker;
+using snapshot_internal::kFnvOffset;
+using snapshot_internal::kHeaderBytes;
+using snapshot_internal::kMagic;
+using snapshot_internal::kSectionCaches;
+using snapshot_internal::kSectionEntryBytes;
+using snapshot_internal::kSectionEpoch;
+using snapshot_internal::kSectionQueries;
+using snapshot_internal::SliceCacheRecords;
+using snapshot_internal::SnapshotView;
+using snapshot_internal::ValidateFraming;
+
 namespace {
-
-// ---- File-level constants (see docs/SNAPSHOT_FORMAT.md) -----------------
-
-constexpr char kMagic[8] = {'P', 'I', 'N', 'U', 'M', 'S', 'N', 'P'};
-/// Written in the host's byte order; a reader on the other endianness
-/// sees the bytes reversed and rejects the file instead of decoding
-/// garbage.
-constexpr uint32_t kEndianMarker = 0x01020304u;
-constexpr size_t kHeaderBytes = 40;
-constexpr size_t kSectionEntryBytes = 24;
-
-/// Section tags. Unknown tags are skipped on read (a same-version writer
-/// may append informational sections), but the three below are required.
-constexpr uint32_t kSectionEpoch = 1;
-constexpr uint32_t kSectionQueries = 2;
-constexpr uint32_t kSectionCaches = 3;
-
-// ---- FNV-1a 64: the checksum and the epoch fingerprints -----------------
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-
-uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 /// Canonical-serialization hasher for the epoch fingerprints: every
 /// field is folded as fixed-width bytes (doubles as their IEEE-754 bit
@@ -68,228 +61,6 @@ class Fingerprint {
  private:
   uint64_t h_ = kFnvOffset;
 };
-
-// ---- Byte-level encode/decode helpers -----------------------------------
-
-class ByteWriter {
- public:
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void I32(int32_t v) { Raw(&v, sizeof(v)); }
-  void F64(double v) { Raw(&v, sizeof(v)); }
-  void Raw(const void* data, size_t n) {
-    out_.append(static_cast<const char*>(data), n);
-  }
-  /// u64 element count + raw element bytes.
-  template <typename T>
-  void Vec(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    U64(v.size());
-    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
-  }
-
-  const std::string& bytes() const { return out_; }
-  size_t size() const { return out_.size(); }
-
- private:
-  std::string out_;
-};
-
-Status Corrupt(const std::string& what) {
-  return Status::Internal("snapshot corrupt: " + what);
-}
-
-/// Bounds-checked reader over one section's bytes. Overruns report
-/// kInternal (corruption): by the time sections are decoded, the
-/// header's file-size check has already ruled plain truncation out.
-class ByteReader {
- public:
-  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  Status Raw(void* dst, size_t n, const char* what) {
-    if (n > size_ - pos_) return Corrupt(std::string(what) + " overruns its section");
-    std::memcpy(dst, data_ + pos_, n);
-    pos_ += n;
-    return Status::OK();
-  }
-  Status U32(uint32_t* v, const char* what) { return Raw(v, sizeof(*v), what); }
-  Status U64(uint64_t* v, const char* what) { return Raw(v, sizeof(*v), what); }
-  Status I32(int32_t* v, const char* what) { return Raw(v, sizeof(*v), what); }
-  Status F64(double* v, const char* what) { return Raw(v, sizeof(*v), what); }
-
-  /// Reads a u64-count-prefixed element array. The count is validated
-  /// against the bytes actually remaining before anything is allocated,
-  /// so a crafted count cannot trigger a huge resize.
-  template <typename T>
-  Status Vec(std::vector<T>* out, const char* what) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    uint64_t count = 0;
-    PINUM_RETURN_IF_ERROR(U64(&count, what));
-    if (count > (size_ - pos_) / sizeof(T)) {
-      return Corrupt(std::string(what) + " count overruns its section");
-    }
-    out->resize(static_cast<size_t>(count));
-    if (count != 0) {
-      std::memcpy(out->data(), data_ + pos_,
-                  static_cast<size_t>(count) * sizeof(T));
-      pos_ += static_cast<size_t>(count) * sizeof(T);
-    }
-    return Status::OK();
-  }
-
-  bool AtEnd() const { return pos_ == size_; }
-  /// Bytes left in the section — the bound every count read from the
-  /// file must be validated against *before* any allocation.
-  size_t Remaining() const { return size_ - pos_; }
-  /// Current offset into the section: lets length-prefixed sub-records
-  /// (the caches section's per-record slices) be framed exactly.
-  size_t Position() const { return pos_; }
-
- private:
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
-
-// ---- SealedCache field access (the one friend, see sealed_cache.h) ------
-
-class SnapshotCodec {
- public:
-  static void Encode(const SealedCache& c, ByteWriter* w) {
-    w->U64(c.universe_);
-    w->U64(c.plans_pruned_);
-    w->Vec(c.term_bases_);
-    w->Vec(c.per_index_values_);
-    // A default-constructed (never sealed) cache has no offsets vector
-    // yet; on disk the CSR invariant `universe + 1 offsets` always
-    // holds, so normalize to the empty universe's {0}. The restored
-    // cache is behaviorally identical: with universe 0 no code path
-    // reads past offset 0.
-    if (c.posting_offsets_.empty()) {
-      w->Vec(std::vector<uint32_t>{0});
-    } else {
-      w->Vec(c.posting_offsets_);
-    }
-    w->Vec(c.posting_terms_);
-    w->Vec(c.posting_values_);
-    w->U64(c.plans_.size());
-    for (const SealedCache::Plan& plan : c.plans_) {
-      w->F64(plan.internal_cost);
-      w->U32(plan.first_slot);
-      w->U32(plan.num_slots);
-    }
-    w->Vec(c.plan_term_ids_);
-    w->Vec(c.plan_multipliers_);
-  }
-
-  /// Decodes one cache and re-validates every structural invariant the
-  /// serving scans rely on, so a decoded cache is safe to serve from
-  /// even if the file was crafted: CSR offsets are monotone and closed
-  /// by the posting arrays, every stored term id is in range, plan slot
-  /// slices stay inside the slot arrays, plans are ordered by the
-  /// internal-cost lower bound (the early-exit invariant), and postings
-  /// are strict improvements over their term's base. The derived
-  /// posting-bearing id list is rebuilt rather than stored.
-  static Status Decode(ByteReader* r, SealedCache* out) {
-    uint64_t universe = 0;
-    uint64_t pruned = 0;
-    PINUM_RETURN_IF_ERROR(r->U64(&universe, "cache universe"));
-    PINUM_RETURN_IF_ERROR(r->U64(&pruned, "cache pruned-plan count"));
-    if (universe >
-        static_cast<uint64_t>(std::numeric_limits<IndexId>::max())) {
-      return Corrupt("universe size does not fit IndexId");
-    }
-    out->universe_ = static_cast<size_t>(universe);
-    out->plans_pruned_ = static_cast<size_t>(pruned);
-    // Seal identity is process-local, never persisted: a restored cache
-    // is a fresh seal as far as pinned contexts are concerned.
-    out->seal_id_ = SealedCache::NextSealId();
-
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->term_bases_, "term bases"));
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->per_index_values_, "term matrix"));
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->posting_offsets_, "posting offsets"));
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->posting_terms_, "posting terms"));
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->posting_values_, "posting values"));
-
-    const size_t num_terms = out->term_bases_.size();
-    // Division instead of universe * num_terms: no overflow to exploit.
-    if (num_terms == 0 ? !out->per_index_values_.empty()
-                       : out->per_index_values_.size() % num_terms != 0 ||
-                             out->per_index_values_.size() / num_terms !=
-                                 out->universe_) {
-      return Corrupt("term matrix is not universe x terms");
-    }
-    if (out->posting_offsets_.size() != out->universe_ + 1) {
-      return Corrupt("posting offsets do not cover the universe");
-    }
-    if (out->posting_offsets_.front() != 0 ||
-        out->posting_offsets_.back() != out->posting_terms_.size() ||
-        out->posting_terms_.size() != out->posting_values_.size()) {
-      return Corrupt("posting lists are not closed by their offsets");
-    }
-    for (size_t id = 0; id < out->universe_; ++id) {
-      if (out->posting_offsets_[id] > out->posting_offsets_[id + 1]) {
-        return Corrupt("posting offsets are not monotone");
-      }
-    }
-    for (size_t p = 0; p < out->posting_terms_.size(); ++p) {
-      if (out->posting_terms_[p] >= num_terms) {
-        return Corrupt("posting names a term out of range");
-      }
-      if (!(out->posting_values_[p] <
-            out->term_bases_[out->posting_terms_[p]])) {
-        return Corrupt("posting is not a strict improvement over its base");
-      }
-    }
-
-    uint64_t num_plans = 0;
-    PINUM_RETURN_IF_ERROR(r->U64(&num_plans, "plan count"));
-    // Each plan record is 16 bytes; bound the count by the bytes that
-    // are actually left before reserving anything.
-    if (num_plans > r->Remaining() / 16) {
-      return Corrupt("plan count overruns its section");
-    }
-    out->plans_.clear();
-    out->plans_.reserve(static_cast<size_t>(num_plans));
-    for (uint64_t i = 0; i < num_plans; ++i) {
-      SealedCache::Plan plan;
-      PINUM_RETURN_IF_ERROR(r->F64(&plan.internal_cost, "plan internal cost"));
-      PINUM_RETURN_IF_ERROR(r->U32(&plan.first_slot, "plan first slot"));
-      PINUM_RETURN_IF_ERROR(r->U32(&plan.num_slots, "plan slot count"));
-      if (i > 0 &&
-          !(out->plans_.back().internal_cost <= plan.internal_cost)) {
-        return Corrupt("plans are not sorted by internal cost");
-      }
-      out->plans_.push_back(plan);
-    }
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->plan_term_ids_, "plan term ids"));
-    PINUM_RETURN_IF_ERROR(r->Vec(&out->plan_multipliers_, "plan multipliers"));
-    if (out->plan_term_ids_.size() != out->plan_multipliers_.size()) {
-      return Corrupt("plan slot arrays disagree in length");
-    }
-    for (const SealedCache::Plan& plan : out->plans_) {
-      if (static_cast<uint64_t>(plan.first_slot) + plan.num_slots >
-          out->plan_term_ids_.size()) {
-        return Corrupt("plan slots overrun the slot arrays");
-      }
-    }
-    for (uint32_t t : out->plan_term_ids_) {
-      if (t >= num_terms) return Corrupt("plan names a term out of range");
-    }
-
-    out->posting_ids_.clear();
-    for (size_t id = 0; id < out->universe_; ++id) {
-      if (out->posting_offsets_[id + 1] > out->posting_offsets_[id]) {
-        out->posting_ids_.push_back(static_cast<IndexId>(id));
-      }
-    }
-    return Status::OK();
-  }
-};
-
-namespace {
 
 // ---- Epoch fingerprints -------------------------------------------------
 
@@ -370,39 +141,13 @@ ByteWriter EncodeEpochSection(const SnapshotEpoch& epoch) {
   return w;
 }
 
-Status DecodeEpochSection(const char* data, size_t size,
-                          SnapshotEpoch* epoch) {
-  ByteReader r(data, size);
-  PINUM_RETURN_IF_ERROR(r.U64(&epoch->base_schema_hash, "base schema hash"));
-  PINUM_RETURN_IF_ERROR(r.I32(&epoch->universe, "universe size"));
-  if (epoch->universe < 0) return Corrupt("negative universe size");
-  PINUM_RETURN_IF_ERROR(r.Vec(&epoch->candidate_ids, "candidate ids"));
-  PINUM_RETURN_IF_ERROR(
-      r.U64(&epoch->universe_prefix_hash, "universe prefix hash"));
-  if (!r.AtEnd()) return Corrupt("trailing bytes in epoch section");
-  return Status::OK();
-}
+// ---- Whole-file reading -------------------------------------------------
 
-// ---- Whole-file framing -------------------------------------------------
-
+/// An owned, framing-validated snapshot: the file's bytes plus the
+/// section view over them.
 struct SnapshotFile {
   std::string bytes;
-  struct Section {
-    uint32_t tag = 0;
-    uint64_t offset = 0;
-    uint64_t length = 0;
-  };
-  std::vector<Section> sections;
-
-  const Section* Find(uint32_t tag) const {
-    for (const Section& s : sections) {
-      if (s.tag == tag) return &s;
-    }
-    return nullptr;
-  }
-  const char* SectionData(const Section& s) const {
-    return bytes.data() + s.offset;
-  }
+  SnapshotView view;
 };
 
 Status ReadFileBytes(const std::string& path, std::string* out) {
@@ -425,112 +170,14 @@ Status ReadFileBytes(const std::string& path, std::string* out) {
   return Status::OK();
 }
 
-/// Opens and validates the file-level framing: magic, byte order,
-/// version, declared length, checksum, and section-table bounds. Every
-/// failure mode maps to its own StatusCode (see snapshot.h).
+/// Reads the file and validates the file-level framing (magic, byte
+/// order, version, declared length, checksum, section-table bounds).
 StatusOr<SnapshotFile> OpenSnapshot(const std::string& path) {
   SnapshotFile file;
   PINUM_RETURN_IF_ERROR(ReadFileBytes(path, &file.bytes));
-  const char* data = file.bytes.data();
-  const size_t actual_size = file.bytes.size();
-  char msg[160];
-
-  if (actual_size < kHeaderBytes) {
-    std::snprintf(msg, sizeof(msg),
-                  "snapshot truncated: %zu bytes is smaller than the %zu-byte"
-                  " header",
-                  actual_size, kHeaderBytes);
-    return Status::OutOfRange(msg);
-  }
-  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a pinum snapshot (bad magic)");
-  }
-  uint32_t endian, version, section_count;
-  uint64_t declared_size, checksum;
-  std::memcpy(&endian, data + 8, 4);
-  std::memcpy(&version, data + 12, 4);
-  std::memcpy(&section_count, data + 16, 4);
-  std::memcpy(&declared_size, data + 24, 8);
-  std::memcpy(&checksum, data + 32, 8);
-  if (endian != kEndianMarker) {
-    return Status::InvalidArgument(
-        "snapshot byte order differs from this host's (written on a"
-        " foreign-endian machine)");
-  }
-  if (version > kSnapshotFormatVersion) {
-    std::snprintf(msg, sizeof(msg),
-                  "snapshot format version %u is newer than the newest"
-                  " supported (%u); rebuild the snapshot or upgrade",
-                  version, kSnapshotFormatVersion);
-    return Status::Unimplemented(msg);
-  }
-  if (version == 0) return Corrupt("format version 0");
-  if (version < kSnapshotFormatVersion) {
-    // v1 predates per-query epoch stamps and prefix-compatible
-    // universes; its global epoch cannot say which queries are stale,
-    // so there is nothing safe to reuse. Rebuilding is the v1 load
-    // path's answer to any drift anyway.
-    std::snprintf(msg, sizeof(msg),
-                  "snapshot format version %u predates per-query epoch"
-                  " stamps (oldest supported is %u); rebuild the caches and"
-                  " save a fresh snapshot",
-                  version, kSnapshotFormatVersion);
-    return Status::Unimplemented(msg);
-  }
-  if (declared_size > actual_size) {
-    std::snprintf(msg, sizeof(msg),
-                  "snapshot truncated: file is %zu bytes, header declares"
-                  " %" PRIu64,
-                  actual_size, declared_size);
-    return Status::OutOfRange(msg);
-  }
-  if (declared_size < actual_size) {
-    return Corrupt("trailing bytes past the declared file size");
-  }
-  if (FnvBytes(kFnvOffset, data + kHeaderBytes,
-               actual_size - kHeaderBytes) != checksum) {
-    return Corrupt("checksum mismatch");
-  }
-
-  const size_t table_bytes =
-      static_cast<size_t>(section_count) * kSectionEntryBytes;
-  if (table_bytes > actual_size - kHeaderBytes) {
-    return Corrupt("section table overruns the file");
-  }
-  for (uint32_t i = 0; i < section_count; ++i) {
-    const char* entry = data + kHeaderBytes + i * kSectionEntryBytes;
-    SnapshotFile::Section s;
-    std::memcpy(&s.tag, entry, 4);
-    std::memcpy(&s.offset, entry + 8, 8);
-    std::memcpy(&s.length, entry + 16, 8);
-    if (s.offset < kHeaderBytes + table_bytes || s.offset > actual_size ||
-        s.length > actual_size - s.offset) {
-      return Corrupt("section overruns the file");
-    }
-    file.sections.push_back(s);
-  }
+  PINUM_RETURN_IF_ERROR(
+      ValidateFraming(file.bytes.data(), file.bytes.size(), &file.view));
   return file;
-}
-
-StatusOr<SnapshotEpoch> DecodeEpoch(const SnapshotFile& file) {
-  const SnapshotFile::Section* s = file.Find(kSectionEpoch);
-  if (s == nullptr) return Corrupt("missing epoch section");
-  SnapshotEpoch epoch;
-  PINUM_RETURN_IF_ERROR(DecodeEpochSection(
-      file.SectionData(*s), static_cast<size_t>(s->length), &epoch));
-  return epoch;
-}
-
-std::string HashMismatch(const char* what, uint64_t stored,
-                         uint64_t current) {
-  char msg[192];
-  std::snprintf(msg, sizeof(msg),
-                "snapshot epoch mismatch: %s fingerprint is now"
-                " %016" PRIx64 " but the snapshot was sealed under"
-                " %016" PRIx64 "; rebuild the caches and save a fresh"
-                " snapshot",
-                what, current, stored);
-  return msg;
 }
 
 }  // namespace
@@ -655,9 +302,9 @@ uint64_t ComputeQueryStamp(const Query& query, const CandidateSet& set,
 namespace {
 
 /// The previous snapshot's cache records, keyed by query name: the
-/// patch source for an incremental save. Holds views into `file.bytes`.
+/// patch source for an incremental save. Holds views into `bytes`.
 struct OldCacheRecords {
-  SnapshotFile file;  // keeps the viewed bytes alive
+  std::string bytes;  // keeps the viewed records alive
   struct Record {
     uint64_t stamp = 0;
     const char* data = nullptr;
@@ -671,54 +318,20 @@ struct OldCacheRecords {
 /// just disables patching; the save then encodes every record fresh.
 OldCacheRecords ReadOldRecords(const std::string& path) {
   OldCacheRecords old;
-  auto opened = OpenSnapshot(path);
-  if (!opened.ok()) return old;
-  old.file = std::move(*opened);
-
-  std::vector<std::string> names;
-  std::vector<uint64_t> stamps;
-  const SnapshotFile::Section* queries = old.file.Find(kSectionQueries);
-  if (queries == nullptr) return old;
-  {
-    ByteReader r(old.file.SectionData(*queries),
-                 static_cast<size_t>(queries->length));
-    uint32_t count = 0;
-    if (!r.U32(&count, "query count").ok()) return old;
-    if (count > r.Remaining() / 12) return old;
-    for (uint32_t i = 0; i < count; ++i) {
-      uint32_t len = 0;
-      if (!r.U32(&len, "query-name length").ok() || len > r.Remaining()) {
-        return old;
-      }
-      std::string name(len, '\0');
-      uint64_t stamp = 0;
-      if (!r.Raw(name.data(), len, "query name").ok() ||
-          !r.U64(&stamp, "query stamp").ok()) {
-        return old;
-      }
-      names.push_back(std::move(name));
-      stamps.push_back(stamp);
-    }
-  }
-
-  const SnapshotFile::Section* caches = old.file.Find(kSectionCaches);
-  if (caches == nullptr) return old;
-  const char* section = old.file.SectionData(*caches);
-  ByteReader r(section, static_cast<size_t>(caches->length));
-  uint32_t count = 0;
-  if (!r.U32(&count, "cache count").ok() || count != names.size()) return old;
-  std::vector<uint64_t> lengths;
-  if (!r.Vec(&lengths, "cache record lengths").ok() ||
-      lengths.size() != count) {
+  if (!ReadFileBytes(path, &old.bytes).ok()) return old;
+  SnapshotView view;
+  if (!ValidateFraming(old.bytes.data(), old.bytes.size(), &view).ok()) {
     return old;
   }
-  size_t at = r.Position();
-  for (uint32_t i = 0; i < count; ++i) {
-    const size_t len = static_cast<size_t>(lengths[i]);
-    if (len > static_cast<size_t>(caches->length) - at) return old;
-    old.by_name.emplace(names[i],
-                        OldCacheRecords::Record{stamps[i], section + at, len});
-    at += len;
+  std::vector<std::string> names;
+  std::vector<uint64_t> stamps;
+  if (!DecodeQueries(view, &names, &stamps).ok()) return old;
+  std::vector<CacheRecord> records;
+  if (!SliceCacheRecords(view, names.size(), &records).ok()) return old;
+  for (size_t i = 0; i < names.size(); ++i) {
+    old.by_name.emplace(
+        names[i],
+        OldCacheRecords::Record{stamps[i], records[i].data, records[i].size});
   }
   return old;
 }
@@ -748,15 +361,16 @@ Status SaveSnapshot(const std::string& path,
     queries_section.U64(query_stamps[i]);
   }
 
-  // Cache records, each framed by its byte length so an incremental
-  // save can splice unchanged records from the previous snapshot at
-  // this path without decoding them. The reuse key is (name, stamp,
-  // sealed universe): the stamp fingerprints every input the cache's
-  // *costs* are derived from, and the universe bound — the record's
-  // leading u64, peeked without a decode — pins the vector widths,
-  // which can differ across an append-only growth even when costs
-  // don't. Together they make a patched file byte-identical to a
-  // from-scratch save of the same result.
+  // Cache records — each one the cache's relocatable arena image,
+  // framed by its byte length so an incremental save can splice
+  // unchanged records from the previous snapshot at this path without
+  // decoding them. The reuse key is (name, stamp, sealed universe): the
+  // stamp fingerprints every input the cache's *costs* are derived
+  // from, and the universe bound — the image's leading u64, peeked
+  // without a decode — pins the array widths, which can differ across
+  // an append-only growth even when costs don't. Together they make a
+  // patched file byte-identical to a from-scratch save of the same
+  // result (images are deterministically packed, padding included).
   const OldCacheRecords old = ReadOldRecords(path);
   auto universe_matches = [](const OldCacheRecords::Record& record,
                              size_t universe) {
@@ -775,14 +389,13 @@ Status SaveSnapshot(const std::string& path,
       ++stats.caches_patched;
       continue;
     }
-    ByteWriter w;
-    SnapshotCodec::Encode(sealed[i], &w);
-    fresh[i] = w.bytes();
+    SnapshotCodec::Encode(sealed[i], &fresh[i]);
     records[i] = {fresh[i].data(), fresh[i].size()};
     ++stats.caches_encoded;
   }
   ByteWriter caches_section;
   caches_section.U32(static_cast<uint32_t>(sealed.size()));
+  caches_section.U32(0);  // reserved; pads the lengths array to 8 bytes
   std::vector<uint64_t> lengths;
   lengths.reserve(records.size());
   for (const auto& [data, size] : records) {
@@ -801,19 +414,32 @@ Status SaveSnapshot(const std::string& path,
   const uint32_t section_count = 3;
 
   // Section table + payloads ("the body") — the checksummed region.
-  ByteWriter body;
-  uint64_t offset =
+  // Every section offset is aligned to kArenaAlign with zero padding in
+  // between: with the caches section's 16 + 8n-byte preamble and
+  // 8-multiple record lengths, that places every arena image at a
+  // file offset that is a multiple of 8 — which is what lets the mapped
+  // reader (page-aligned base) hand out typed views without a copy.
+  const uint64_t table_end =
       kHeaderBytes + static_cast<uint64_t>(section_count) * kSectionEntryBytes;
-  for (const auto& [tag, payload] : sections) {
-    body.U32(tag);
-    body.U32(0);  // reserved
-    body.U64(offset);
-    body.U64(payload->size());
-    offset += payload->size();
+  uint64_t offsets[section_count];
+  uint64_t end = table_end;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    offsets[i] = ArenaAlignUp(static_cast<size_t>(end));
+    end = offsets[i] + sections[i].second->size();
   }
-  for (const auto& [tag, payload] : sections) {
-    (void)tag;
-    body.Raw(payload->bytes().data(), payload->size());
+  ByteWriter body;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    body.U32(sections[i].first);
+    body.U32(0);  // reserved
+    body.U64(offsets[i]);
+    body.U64(sections[i].second->size());
+  }
+  uint64_t pos = table_end;
+  static const char zeros[kArenaAlign] = {};
+  for (uint32_t i = 0; i < section_count; ++i) {
+    body.Raw(zeros, static_cast<size_t>(offsets[i] - pos));
+    body.Raw(sections[i].second->bytes().data(), sections[i].second->size());
+    pos = offsets[i] + sections[i].second->size();
   }
 
   ByteWriter header;
@@ -848,136 +474,31 @@ Status SaveSnapshot(const std::string& path,
 
 StatusOr<SnapshotEpoch> ReadSnapshotEpoch(const std::string& path) {
   PINUM_ASSIGN_OR_RETURN(const SnapshotFile file, OpenSnapshot(path));
-  return DecodeEpoch(file);
+  return DecodeEpoch(file.view);
 }
 
 StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
                                         const SnapshotEpoch& expected) {
   PINUM_ASSIGN_OR_RETURN(const SnapshotFile file, OpenSnapshot(path));
-  PINUM_ASSIGN_OR_RETURN(const SnapshotEpoch stored, DecodeEpoch(file));
-
-  if (stored.base_schema_hash != expected.base_schema_hash) {
-    return Status::FailedPrecondition(
-        HashMismatch("base catalog schema", stored.base_schema_hash,
-                     expected.base_schema_hash));
-  }
-  // Prefix compatibility: the stored vocabulary must be the live one's
-  // first N candidates — equality when nothing grew, a strict prefix
-  // when candidates were appended after the seal (append-only growth
-  // keeps every stored id meaning the same index). Anything else —
-  // removed, reordered, or regenerated candidates — invalidates every
-  // sealed subscript.
-  const size_t stored_count = stored.candidate_ids.size();
-  if (stored_count > expected.candidate_ids.size() ||
-      !std::equal(stored.candidate_ids.begin(), stored.candidate_ids.end(),
-                  expected.candidate_ids.begin())) {
-    char msg[224];
-    std::snprintf(msg, sizeof(msg),
-                  "snapshot epoch mismatch: the snapshot's %zu candidate ids"
-                  " are not a prefix of the live universe's %zu (candidates"
-                  " were removed, reordered, or regenerated); rebuild the"
-                  " caches and save a fresh snapshot",
-                  stored_count, expected.candidate_ids.size());
-    return Status::FailedPrecondition(msg);
-  }
-  if (stored.universe > expected.universe) {
-    char msg[192];
-    std::snprintf(msg, sizeof(msg),
-                  "snapshot epoch mismatch: the snapshot covers %d universe"
-                  " ids but the live universe has only %d; rebuild the caches"
-                  " and save a fresh snapshot",
-                  stored.universe, expected.universe);
-    return Status::FailedPrecondition(msg);
-  }
-  // The prefix's *definitions* must match too (sizes included): verify
-  // the stored final hash against the live chain's entry for that
-  // prefix length.
-  uint64_t live_prefix_hash = 0;
-  if (stored_count == expected.candidate_ids.size()) {
-    live_prefix_hash = expected.universe_prefix_hash;
-  } else if (stored_count < expected.prefix_chain.size()) {
-    live_prefix_hash = expected.prefix_chain[stored_count];
-  } else {
-    return Status::InvalidArgument(
-        "expected epoch lacks the prefix chain needed to verify a"
-        " strict-prefix snapshot (compute it with ComputeSnapshotEpoch)");
-  }
-  if (stored.universe_prefix_hash != live_prefix_hash) {
-    return Status::FailedPrecondition(HashMismatch(
-        "candidate-universe definitions (a candidate's key columns or size"
-        " statistics changed)",
-        stored.universe_prefix_hash, live_prefix_hash));
-  }
+  PINUM_ASSIGN_OR_RETURN(const SnapshotEpoch stored, DecodeEpoch(file.view));
+  PINUM_RETURN_IF_ERROR(CheckEpochCompatible(stored, expected));
 
   WorkloadSnapshot snapshot;
   snapshot.universe = stored.universe;
-  const SnapshotFile::Section* queries = file.Find(kSectionQueries);
-  if (queries == nullptr) return Corrupt("missing query-names section");
-  {
-    ByteReader r(file.SectionData(*queries),
-                 static_cast<size_t>(queries->length));
-    uint32_t count = 0;
-    PINUM_RETURN_IF_ERROR(r.U32(&count, "query count"));
-    // Every entry takes at least its 4-byte length field plus its
-    // 8-byte stamp: bound the count (and each name length) by the
-    // remaining bytes before any allocation, so a crafted count yields
-    // a Status, not bad_alloc.
-    if (count > r.Remaining() / 12) {
-      return Corrupt("query count overruns its section");
-    }
-    snapshot.query_names.reserve(count);
-    snapshot.query_stamps.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      uint32_t len = 0;
-      PINUM_RETURN_IF_ERROR(r.U32(&len, "query-name length"));
-      if (len > r.Remaining()) {
-        return Corrupt("query name overruns its section");
-      }
-      std::string name(len, '\0');
-      PINUM_RETURN_IF_ERROR(r.Raw(name.data(), len, "query name"));
-      uint64_t stamp = 0;
-      PINUM_RETURN_IF_ERROR(r.U64(&stamp, "query stamp"));
-      snapshot.query_names.push_back(std::move(name));
-      snapshot.query_stamps.push_back(stamp);
-    }
-    if (!r.AtEnd()) return Corrupt("trailing bytes in query-names section");
-  }
+  PINUM_RETURN_IF_ERROR(DecodeQueries(file.view, &snapshot.query_names,
+                                      &snapshot.query_stamps));
 
-  const SnapshotFile::Section* caches = file.Find(kSectionCaches);
-  if (caches == nullptr) return Corrupt("missing caches section");
-  {
-    ByteReader r(file.SectionData(*caches),
-                 static_cast<size_t>(caches->length));
-    uint32_t count = 0;
-    PINUM_RETURN_IF_ERROR(r.U32(&count, "cache count"));
-    if (count != snapshot.query_names.size()) {
-      return Corrupt("cache count does not match query count");
-    }
-    std::vector<uint64_t> lengths;
-    PINUM_RETURN_IF_ERROR(r.Vec(&lengths, "cache record lengths"));
-    if (lengths.size() != count) {
-      return Corrupt("cache record-length count does not match cache count");
-    }
-    snapshot.sealed.resize(count);
-    const char* section = file.SectionData(*caches);
-    size_t at = r.Position();
-    for (uint32_t i = 0; i < count; ++i) {
-      const size_t len = static_cast<size_t>(lengths[i]);
-      if (len > static_cast<size_t>(caches->length) - at) {
-        return Corrupt("cache record overruns its section");
-      }
-      // Each record decodes from exactly its framed slice — a record
-      // that reads past (or short of) its declared length is corrupt,
-      // which is also what keeps spliced (patched) records honest.
-      ByteReader record(section + at, len);
-      PINUM_RETURN_IF_ERROR(SnapshotCodec::Decode(&record,
-                                                  &snapshot.sealed[i]));
-      if (!record.AtEnd()) return Corrupt("trailing bytes in cache record");
-      at += len;
-    }
-    if (at != static_cast<size_t>(caches->length)) {
-      return Corrupt("trailing bytes in caches section");
-    }
+  std::vector<CacheRecord> records;
+  PINUM_RETURN_IF_ERROR(
+      SliceCacheRecords(file.view, snapshot.query_names.size(), &records));
+  snapshot.sealed.resize(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    // Each record decodes from exactly its framed slice: the image's
+    // structural validation (SealedCache::ValidateImage) rejects any
+    // record whose contents disagree with its declared length, which is
+    // also what keeps spliced (patched) records honest.
+    PINUM_RETURN_IF_ERROR(SnapshotCodec::DecodeOwned(
+        records[i].data, records[i].size, &snapshot.sealed[i]));
   }
   return snapshot;
 }

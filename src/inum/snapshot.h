@@ -52,8 +52,12 @@
 namespace pinum {
 
 /// On-disk format version this build writes and the newest it can read.
-/// Version history lives in docs/SNAPSHOT_FORMAT.md.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// Version history lives in docs/SNAPSHOT_FORMAT.md. v3's caches
+/// section stores each cache as its relocatable arena image (see
+/// inum/arena.h), 8-aligned in the file, which is what makes the
+/// zero-copy mapped reader (inum/snapshot_mmap.h) possible; older
+/// versions are rejected kUnimplemented, not migrated.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Fingerprint of the world a snapshot was sealed under. The base
 /// schema hash covers tables, columns, foreign keys, and the real

@@ -1,0 +1,132 @@
+#include "inum/snapshot_mmap.h"
+
+#include <utility>
+
+#include "inum/snapshot_internal.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pinum {
+
+using snapshot_internal::CacheRecord;
+using snapshot_internal::CheckEpochCompatible;
+using snapshot_internal::DecodeEpoch;
+using snapshot_internal::DecodeQueries;
+using snapshot_internal::kHeaderBytes;
+using snapshot_internal::SliceCacheRecords;
+using snapshot_internal::SnapshotView;
+using snapshot_internal::ValidateFraming;
+
+#if defined(_WIN32)
+
+StatusOr<MappedWorkloadSnapshot> MappedWorkloadSnapshot::Map(
+    const std::string& path, const SnapshotEpoch& expected) {
+  (void)path;
+  (void)expected;
+  return Status::Unimplemented(
+      "mapped snapshots require POSIX mmap; use LoadSnapshot");
+}
+
+#else
+
+namespace {
+
+/// RAII wrapper for one read-only MAP_PRIVATE file mapping. The mapped
+/// base is page-aligned, so a file offset's alignment equals the mapped
+/// pointer's alignment — the property the 8-aligned v3 cache records
+/// rely on.
+class MappedFile {
+ public:
+  static StatusOr<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::NotFound("cannot open snapshot " + path);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::Internal("cannot stat snapshot " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    auto file = std::make_shared<MappedFile>();
+    if (size > 0) {
+      // mmap rejects zero-length maps; an empty file skips straight to
+      // framing validation, which reports the truncation (kOutOfRange).
+      void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base == MAP_FAILED) {
+        ::close(fd);
+        return Status::Internal("cannot mmap snapshot " + path);
+      }
+      file->base_ = base;
+      file->size_ = size;
+    }
+    // The mapping outlives the descriptor (POSIX keeps mapped pages
+    // valid after close).
+    ::close(fd);
+    return std::shared_ptr<const MappedFile>(std::move(file));
+  }
+
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (base_ != nullptr) ::munmap(base_, size_);
+  }
+
+  const char* data() const { return static_cast<const char*>(base_); }
+  size_t size() const { return size_; }
+
+ private:
+  void* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace
+
+StatusOr<MappedWorkloadSnapshot> MappedWorkloadSnapshot::Map(
+    const std::string& path, const SnapshotEpoch& expected) {
+  PINUM_ASSIGN_OR_RETURN(std::shared_ptr<const MappedFile> file,
+                         MappedFile::Open(path));
+
+  // One full pass over the bytes (the checksum), then O(sections +
+  // queries) framing — identical checks, in identical order, to the
+  // decode path's OpenSnapshot.
+  SnapshotView view;
+  PINUM_RETURN_IF_ERROR(ValidateFraming(file->data(), file->size(), &view));
+  PINUM_ASSIGN_OR_RETURN(const SnapshotEpoch stored, DecodeEpoch(view));
+  PINUM_RETURN_IF_ERROR(CheckEpochCompatible(stored, expected));
+
+  MappedWorkloadSnapshot snapshot;
+  snapshot.universe = stored.universe;
+  PINUM_RETURN_IF_ERROR(
+      DecodeQueries(view, &snapshot.query_names, &snapshot.query_stamps));
+
+  std::vector<CacheRecord> records;
+  PINUM_RETURN_IF_ERROR(
+      SliceCacheRecords(view, snapshot.query_names.size(), &records));
+
+  // Bind each cache's views straight into the mapping. Validation runs
+  // per image *before* the views are installed; any rejected image
+  // aborts the whole map with no cache handed out. Each cache's arena
+  // co-owns the MappedFile, so caches stay valid after this snapshot
+  // struct (and its `mapping` handle) are gone.
+  snapshot.sealed.resize(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    PINUM_RETURN_IF_ERROR(SnapshotCodec::View(records[i].data,
+                                              records[i].size, file,
+                                              &snapshot.sealed[i]));
+  }
+  snapshot.mapped_bytes = file->size();
+  snapshot.mapping = std::move(file);
+  return snapshot;
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace pinum

@@ -1,0 +1,70 @@
+// Zero-copy snapshot loading: mmap a format-v3 snapshot read-only and
+// serve straight out of the page cache.
+//
+// The decode path (LoadSnapshot) copies every cache record into an
+// owned heap arena; this path instead validates the file once —
+// framing, checksum, epoch compatibility, and every cache image's
+// structural invariants — and then binds each SealedCache's typed views
+// *directly into the mapping*. Construction is O(sections + queries +
+// validation scan); no per-element decode, no allocation proportional
+// to cache bytes. Restart cost becomes page faults, and N processes
+// mapping the same file share one physical copy of the caches.
+//
+// Lifetime contract: every returned SealedCache holds a shared_ptr to
+// the mapping (so do its copies — copying a SealedCache shares its
+// arena), so the pages stay mapped until the last borrowing cache is
+// destroyed. Dropping the MappedWorkloadSnapshot itself does NOT
+// invalidate caches moved or copied out of it. The mapping is
+// MAP_PRIVATE and read-only; concurrent SaveSnapshot to the same path
+// is safe because saves replace the file via rename(2) — the old inode
+// (and this mapping) stays intact.
+//
+// Failure taxonomy matches LoadSnapshot exactly (see snapshot.h):
+// kNotFound / kOutOfRange / kInvalidArgument / kUnimplemented /
+// kInternal / kFailedPrecondition. A file that fails any check — a
+// truncated tail, a flipped payload bit, a misaligned or out-of-bounds
+// arena offset — is rejected before any cache view is handed out.
+#ifndef PINUM_INUM_SNAPSHOT_MMAP_H_
+#define PINUM_INUM_SNAPSHOT_MMAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "inum/sealed_cache.h"
+#include "inum/snapshot.h"
+
+namespace pinum {
+
+/// A workload snapshot served in place from a read-only file mapping.
+/// Field-compatible with WorkloadSnapshot (same parallel vectors), plus
+/// the mapping handle that pins the pages.
+struct MappedWorkloadSnapshot {
+  std::vector<std::string> query_names;
+  std::vector<uint64_t> query_stamps;
+  /// Caches whose arenas borrow the mapping. Safe to move/copy out;
+  /// each cache co-owns the mapping via its arena owner handle.
+  std::vector<SealedCache> sealed;
+  /// The stored epoch's universe bound (see WorkloadSnapshot).
+  IndexId universe = 0;
+  /// The file mapping. Holding this (or any cache borrowing it) keeps
+  /// the pages valid; stash it next to anything that outlives this
+  /// struct but reads the caches.
+  std::shared_ptr<const void> mapping;
+  /// Bytes mapped — the snapshot file's size.
+  size_t mapped_bytes = 0;
+
+  /// Maps `path` read-only and validates it exactly as LoadSnapshot
+  /// would (same failure taxonomy, same epoch-compatibility rule
+  /// against `expected`), then binds cache views into the mapping with
+  /// zero copy. Every image is fully structurally validated before any
+  /// view is handed out.
+  static StatusOr<MappedWorkloadSnapshot> Map(const std::string& path,
+                                              const SnapshotEpoch& expected);
+};
+
+}  // namespace pinum
+
+#endif  // PINUM_INUM_SNAPSHOT_MMAP_H_

@@ -80,6 +80,14 @@ struct CostAnswer {
 /// generation 1 and starts answering immediately. The builder, queries,
 /// and the world objects the builder is bound to must outlive the
 /// engine.
+///
+/// `initial` may equally be LoadSnapshotMapped's result — the restart
+/// path that starts answering traffic before any build runs. The
+/// mapped result's `mapping` handle travels into generation 1 (and its
+/// caches' arenas co-own it), so the snapshot pages stay valid for as
+/// long as any pinned generation or in-flight answer needs them; later
+/// reseals copy the handle forward until every borrowed cache has been
+/// rebuilt heap-side (see docs/SERVING.md).
 class ServingEngine {
  public:
   ServingEngine(WorkloadCacheBuilder* builder,

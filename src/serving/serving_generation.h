@@ -33,7 +33,10 @@ struct ServingGeneration {
 
   /// The build result this generation serves from. Treat as deeply
   /// immutable — every SealedCache, stamp, and accounting row is
-  /// frozen at publication.
+  /// frozen at publication. When the result came from
+  /// LoadSnapshotMapped, its caches' arenas borrow the snapshot file
+  /// mapping; result.mapping (plus each cache's own arena handle) pins
+  /// the pages for exactly this generation's lifetime.
   WorkloadCacheResult result;
 
   /// The serve-time caches, parallel to the engine's query vector.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "inum/snapshot_mmap.h"
 
 namespace pinum {
 
@@ -296,13 +297,19 @@ uint64_t WorkloadCacheBuilder::QueryStamp(
 std::vector<size_t> WorkloadCacheBuilder::StaleQueries(
     const WorkloadSnapshot& snapshot,
     const std::vector<Query>& queries) const {
+  return StaleQueries(snapshot.query_names, snapshot.query_stamps, queries);
+}
+
+std::vector<size_t> WorkloadCacheBuilder::StaleQueries(
+    const std::vector<std::string>& names,
+    const std::vector<uint64_t>& stamps,
+    const std::vector<Query>& queries) const {
   std::vector<size_t> stale;
   std::map<TableId, uint64_t> fp_cache;
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (i >= snapshot.query_names.size() ||
-        i >= snapshot.query_stamps.size() ||
-        snapshot.query_names[i] != queries[i].name ||
-        snapshot.query_stamps[i] != QueryStamp(queries[i], &fp_cache)) {
+    if (i >= names.size() || i >= stamps.size() ||
+        names[i] != queries[i].name ||
+        stamps[i] != QueryStamp(queries[i], &fp_cache)) {
       stale.push_back(i);
     }
   }
@@ -337,6 +344,28 @@ Status WorkloadCacheBuilder::SaveSnapshot(const std::string& path,
 StatusOr<WorkloadSnapshot> WorkloadCacheBuilder::LoadSnapshot(
     const std::string& path) const {
   return pinum::LoadSnapshot(path, ComputeSnapshotEpoch(*candidates_));
+}
+
+StatusOr<WorkloadCacheResult> WorkloadCacheBuilder::LoadSnapshotMapped(
+    const std::string& path, std::vector<std::string>* query_names) const {
+  PINUM_ASSIGN_OR_RETURN(
+      MappedWorkloadSnapshot mapped,
+      MappedWorkloadSnapshot::Map(path, ComputeSnapshotEpoch(*candidates_)));
+
+  WorkloadCacheResult result;
+  const size_t n = mapped.sealed.size();
+  // Keep the result parallel (the RebuildQueries precondition): a
+  // mapped restart has no build-time caches or per-query accounting, so
+  // those slots hold empty placeholders — a reseal replaces exactly the
+  // slots it rebuilds, and inspection reads zeros instead of garbage.
+  result.caches.resize(n);
+  result.per_query.resize(n);
+  result.sealed = std::move(mapped.sealed);
+  result.stamps = std::move(mapped.query_stamps);
+  result.mapping = std::move(mapped.mapping);
+  RecomputeTotals(&result);
+  if (query_names != nullptr) *query_names = std::move(mapped.query_names);
+  return result;
 }
 
 }  // namespace pinum

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <map>
-#include <vector>
-
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "inum/access_cost_store.h"
@@ -100,6 +100,13 @@ struct WorkloadCacheResult {
   /// instead of masking it.
   std::vector<uint64_t> stamps;
   WorkloadCacheStats totals;
+  /// Set only by LoadSnapshotMapped: the snapshot file mapping the
+  /// sealed caches' arenas borrow. Each SealedCache also co-owns the
+  /// mapping through its arena, so even a result sliced apart keeps the
+  /// pages alive; this handle makes the borrow visible and keeps whole-
+  /// result copies (serving generations) trivially correct. Null for
+  /// built or decode-loaded results.
+  std::shared_ptr<const void> mapping;
 };
 
 /// Builds per-query plan caches for an entire workload. One instance is
@@ -183,6 +190,13 @@ class WorkloadCacheBuilder {
   std::vector<size_t> StaleQueries(const WorkloadSnapshot& snapshot,
                                    const std::vector<Query>& queries) const;
 
+  /// The same staleness diff over bare parallel vectors — what a
+  /// mapped-snapshot restart has in hand (LoadSnapshotMapped returns
+  /// the names separately and the stamps inside the result).
+  std::vector<size_t> StaleQueries(const std::vector<std::string>& names,
+                                   const std::vector<uint64_t>& stamps,
+                                   const std::vector<Query>& queries) const;
+
   /// Persists a build's sealed caches to `path` as one versioned
   /// snapshot file (format: docs/SNAPSHOT_FORMAT.md), carrying the
   /// universe epoch of this builder's bound candidates plus one
@@ -213,6 +227,25 @@ class WorkloadCacheBuilder {
   /// callers serving a specific workload should verify the returned
   /// query_names match it, as advisor_tool --load does.
   StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path) const;
+
+  /// The zero-copy restart path: mmaps the snapshot read-only
+  /// (MappedWorkloadSnapshot::Map) and returns a serving-ready
+  /// WorkloadCacheResult whose sealed caches' arenas point straight
+  /// into the mapping — no per-element decode, no heap copy of cache
+  /// bytes. Same compatibility rule and failure taxonomy as
+  /// LoadSnapshot; cost answers are bit-identical to the decode path's.
+  /// The result's `mapping` handle (and every cache's arena) pins the
+  /// mapped pages, so the result — and serving generations copied from
+  /// it — outlive the file's directory entry (saves replace via
+  /// rename). The result is RebuildQueries-ready: `caches` holds empty
+  /// build-time forms (a mapped restart has no build-time state;
+  /// resealed queries get fresh ones), `stamps` are the stored stamps.
+  /// `query_names`, when given, receives the stored names — diff with
+  /// StaleQueries(names, result.stamps, queries) to find what to
+  /// reseal, and verify they match the workload being served.
+  StatusOr<WorkloadCacheResult> LoadSnapshotMapped(
+      const std::string& path,
+      std::vector<std::string>* query_names = nullptr) const;
 
   /// The builder's pool — reusable for batched configuration pricing.
   ThreadPool* pool() { return &pool_; }

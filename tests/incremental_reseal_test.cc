@@ -326,6 +326,71 @@ TEST_F(IncrementalResealTest, ScratchReuseAcrossResealServesLiveCosts) {
   }
 }
 
+TEST_F(IncrementalResealTest, MovedCachesKeepTheirSealAndPinnedContexts) {
+  // Regression: SealedCache's move operations transfer the arena handle
+  // but KEEP the seal id — a move is the same immutable seal changing
+  // address, not a reseal. Vector reallocation (RebuildQueries growing
+  // built->sealed, a generation copy reserving capacity) move-constructs
+  // every element; if moves drew fresh seal ids, every pinned
+  // EvalScratch context would look stale afterwards and the reuse/extend
+  // fast paths would silently degrade into a full re-prepare storm.
+  CandidateSet set = fix_->set;
+  StatsCatalog stats = fix_->stats();
+  const std::vector<Query>& queries = fix_->queries();
+  WorkloadCacheBuilder builder(&fix_->catalog(), &set, &stats,
+                               WorkloadCacheOptions{});
+  auto built = builder.BuildAll(queries);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::vector<IndexId>& extras = set.candidate_ids;
+
+  // Direct move ctor + move assignment: the context prepared before the
+  // moves stays pinned to the live seal and keeps answering the delta
+  // path bit-identically (the arena is shared, so its spans never dangle).
+  SealedCache cache = built->sealed[0];
+  const uint64_t seal_before = cache.seal_id();
+  SealedCache::CostContext ctx;
+  IndexConfig base;
+  base.push_back(extras[0]);
+  cache.PrepareContext(base, &ctx);
+  ASSERT_EQ(ctx.seal_id(), seal_before);
+  std::vector<double> expected;
+  {
+    SealedCache::CostContext fresh_ctx;
+    built->sealed[0].PrepareContext(base, &fresh_ctx);
+    for (IndexId extra : extras) {
+      expected.push_back(built->sealed[0].CostWithExtra(&fresh_ctx, extra));
+    }
+  }
+  SealedCache moved(std::move(cache));
+  EXPECT_EQ(moved.seal_id(), seal_before);
+  EXPECT_EQ(cache.ArenaBytes(), 0u);  // moved-from is an empty husk
+  SealedCache assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.seal_id(), seal_before);
+  for (size_t e = 0; e < extras.size(); ++e) {
+    EXPECT_EQ(assigned.CostWithExtra(&ctx, extras[e]), expected[e])
+        << "extra " << e;
+  }
+
+  // Whole-vector reallocation: every cache move-constructs to a new
+  // address, every seal id survives, and a scratch pinned beforehand is
+  // still recognized as live (no context re-prepared, same bits out).
+  WorkloadCostEvaluator evaluator(&built->sealed);
+  WorkloadCostEvaluator::EvalScratch scratch;
+  const std::vector<double> pre =
+      evaluator.BatchCostWithExtras({}, extras, &scratch);
+  std::vector<uint64_t> ids_before;
+  for (const SealedCache& c : built->sealed) ids_before.push_back(c.seal_id());
+  built->sealed.reserve(built->sealed.capacity() * 2 + 1);
+  for (size_t i = 0; i < built->sealed.size(); ++i) {
+    EXPECT_EQ(built->sealed[i].seal_id(), ids_before[i]) << "query " << i;
+    EXPECT_EQ(scratch.per_query[i].seal_id(), ids_before[i]) << "query " << i;
+  }
+  const std::vector<double> post =
+      evaluator.BatchCostWithExtras({}, extras, &scratch);
+  EXPECT_EQ(pre, post);
+}
+
 TEST_F(IncrementalResealTest, UnknownNameIsInvalidArgument) {
   CandidateSet set = fix_->set;
   StatsCatalog stats = fix_->stats();

@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -125,12 +126,18 @@ TEST_F(SnapshotTest, RoundTripCostBitIdentical) {
               fix_->builder->QueryStamp(queries[qi]));
     const SealedCache& original = fix_->built.sealed[qi];
     const SealedCache& restored = loaded->sealed[qi];
-    // Structure round-trips exactly, derived posting ids included.
+    // Structure round-trips exactly, the stored posting-id list
+    // included — and so does the whole arena image, byte for byte (the
+    // record on disk IS the image, so anything else is a codec bug).
     EXPECT_EQ(restored.NumPlans(), original.NumPlans());
     EXPECT_EQ(restored.NumPlansPruned(), original.NumPlansPruned());
     EXPECT_EQ(restored.NumTerms(), original.NumTerms());
     EXPECT_EQ(restored.NumPostings(), original.NumPostings());
-    EXPECT_EQ(restored.PostingBearingIds(), original.PostingBearingIds());
+    const ArenaSpan<IndexId> restored_ids = restored.PostingBearingIds();
+    const ArenaSpan<IndexId> original_ids = original.PostingBearingIds();
+    EXPECT_TRUE(std::equal(restored_ids.begin(), restored_ids.end(),
+                           original_ids.begin(), original_ids.end()));
+    EXPECT_EQ(restored.ArenaBytes(), original.ArenaBytes());
 
     // Costs round-trip bitwise — including the empty configuration,
     // duplicate ids, ids outside the universe, and configurations whose
