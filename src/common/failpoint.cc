@@ -1,0 +1,137 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace pinum {
+namespace {
+
+struct Point {
+  FailPoint::Config config;
+  int64_t hits = 0;
+  int64_t fires = 0;
+  // Decision stream for kProbability, seeded at arm time and advanced
+  // under the registry lock so the schedule is reproducible by seed.
+  Rng rng{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+// Fast-path gate: number of currently armed failpoints. When zero,
+// Check() is one relaxed load and no lock is taken. Relaxed is enough:
+// a test that arms a point and *then* starts the threads it wants to
+// observe it synchronizes through thread creation; we only promise
+// that a point armed before the racing work began is seen.
+std::atomic<int> g_armed{0};
+
+}  // namespace
+
+Status FailPoint::Check(const char* name) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return Status::OK();
+  Status injected;
+  std::chrono::milliseconds delay{0};
+  {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.points.find(name);
+    if (it == reg.points.end()) return Status::OK();
+    Point& p = it->second;
+    ++p.hits;
+    bool fire = false;
+    switch (p.config.mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kAlways:
+        fire = true;
+        break;
+      case Mode::kNthHit:
+        fire = (p.hits == p.config.nth_hit);
+        break;
+      case Mode::kProbability:
+        fire = p.rng.Chance(p.config.probability);
+        break;
+    }
+    if (!fire) return Status::OK();
+    ++p.fires;
+    injected = p.config.status;
+    delay = p.config.delay;
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return injected;
+}
+
+void FailPoint::Arm(const std::string& name, Config config) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto [it, inserted] = reg.points.insert_or_assign(name, Point{});
+  it->second.config = std::move(config);
+  it->second.rng = Rng(it->second.config.seed);
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoint::Disarm(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.points.erase(name) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoint::DisarmAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  g_armed.fetch_sub(static_cast<int>(reg.points.size()),
+                    std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+int64_t FailPoint::HitCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+int64_t FailPoint::FireCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+ScopedFailPoint::ScopedFailPoint(std::string name, FailPoint::Config config)
+    : name_(std::move(name)) {
+  {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.points.find(name_);
+    if (it != reg.points.end()) {
+      had_previous_ = true;
+      previous_ = it->second.config;
+    }
+  }
+  FailPoint::Arm(name_, std::move(config));
+}
+
+ScopedFailPoint::~ScopedFailPoint() {
+  if (had_previous_) {
+    FailPoint::Arm(name_, std::move(previous_));
+  } else {
+    FailPoint::Disarm(name_);
+  }
+}
+
+}  // namespace pinum

@@ -27,6 +27,11 @@ enum class StatusCode {
   /// because its queue is full). Deliberately distinct from the
   /// permanent-failure codes above: nothing about the request is wrong.
   kUnavailable,
+  /// The operation's deadline passed before it completed (e.g. a
+  /// SubmitCost request expiring in the queue, or a reseal overrunning
+  /// MaintenancePolicy::reseal_deadline). The work may or may not have
+  /// had an effect; for serving answers it means "not answered in time".
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -67,6 +72,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,8 +1,24 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/failpoint.h"
 
 namespace pinum {
+namespace {
+
+// Fault-injection hook evaluated once per ParallelFor iteration, on
+// whichever thread claims it (workers and the participating caller
+// alike). Pool tasks communicate failure by throwing, so an injected
+// Status surfaces as an exception — exercising the same rethrow-on-
+// caller barrier a genuinely throwing body takes.
+void CheckTaskFailPoint() {
+  Status injected = FailPoint::Check("thread_pool.task");
+  if (!injected.ok()) throw std::runtime_error(injected.ToString());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -43,6 +59,7 @@ void ThreadPool::RunRegion(Region* region) {
     // caller's barrier never opens.
     if (!region->failed.load(std::memory_order_relaxed)) {
       try {
+        CheckTaskFailPoint();
         (*region->fn)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(region->error_mu);
@@ -84,7 +101,10 @@ void ThreadPool::ParallelFor(int64_t n,
   if (n <= 0) return;
   if (workers_.empty() || n == 1) {
     // Exactly sequential; exceptions propagate to the caller directly.
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    for (int64_t i = 0; i < n; ++i) {
+      CheckTaskFailPoint();
+      fn(i);
+    }
     return;
   }
 

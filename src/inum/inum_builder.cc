@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "optimizer/interesting_orders.h"
 #include "optimizer/optimizer.h"
@@ -53,12 +54,16 @@ StatusOr<InumCache> BuildInumCacheClassic(const Query& query,
     PlannerKnobs knobs = options.base_knobs;
     knobs.hooks = PlannerHooks{};  // stock optimizer: no hooks
     knobs.enable_nestloop = false;
+    // Fault injection: one hit per plan-cache optimizer invocation, so a
+    // test can fail or stall exactly the k-th call of a (re)build.
+    PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.plan_optimizer_call"));
     PINUM_ASSIGN_OR_RETURN(OptimizeResult no_nlj, opt.Optimize(query, knobs));
     cache.AddPlan(*no_nlj.best, covering, !query.order_by.empty());
     ++local.plan_cache_calls;
 
     if (options.include_nlj_plans && options.base_knobs.enable_nestloop) {
       knobs.enable_nestloop = true;
+      PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.plan_optimizer_call"));
       PINUM_ASSIGN_OR_RETURN(OptimizeResult with_nlj,
                              opt.Optimize(query, knobs));
       cache.AddPlan(*with_nlj.best, covering, !query.order_by.empty());
@@ -105,6 +110,7 @@ StatusOr<InumCache> BuildInumCacheClassic(const Query& query,
     PlannerKnobs knobs = options.base_knobs;
     knobs.hooks.keep_all_access_paths = true;  // stand-in for plan parsing
     knobs.hooks.export_all_plans = false;
+    PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.access_optimizer_call"));
     PINUM_ASSIGN_OR_RETURN(OptimizeResult result, opt.Optimize(query, knobs));
     for (const auto& info : result.access_info) {
       cache.mutable_access()->Absorb(info);
@@ -139,6 +145,7 @@ StatusOr<InumCache> BuildInumCacheClassic(const Query& query,
       PlannerKnobs knobs = options.base_knobs;
       knobs.hooks.keep_all_access_paths = true;
       knobs.hooks.export_all_plans = false;
+      PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.access_optimizer_call"));
       PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
                              opt.Optimize(query, knobs));
       for (const auto& info : result.access_info) {

@@ -14,10 +14,17 @@
 #include <map>
 #include <utility>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
 #include "inum/snapshot_internal.h"
 
 namespace pinum {
 
+using snapshot_internal::AnnotateFile;
 using snapshot_internal::ByteReader;
 using snapshot_internal::ByteWriter;
 using snapshot_internal::CacheRecord;
@@ -151,6 +158,10 @@ struct SnapshotFile {
 };
 
 Status ReadFileBytes(const std::string& path, std::string* out) {
+  {
+    Status injected = FailPoint::Check("snapshot.load.read");
+    if (!injected.ok()) return AnnotateFile(std::move(injected), path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open snapshot " + path);
@@ -164,7 +175,8 @@ Status ReadFileBytes(const std::string& path, std::string* out) {
   const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
   if (read_error) {
-    return Status::Internal("I/O error reading snapshot " + path);
+    return Status::Internal("I/O error reading snapshot " + path +
+                            " at byte offset " + std::to_string(bytes.size()));
   }
   *out = std::move(bytes);
   return Status::OK();
@@ -172,11 +184,14 @@ Status ReadFileBytes(const std::string& path, std::string* out) {
 
 /// Reads the file and validates the file-level framing (magic, byte
 /// order, version, declared length, checksum, section-table bounds).
+/// Failures carry the path: the validators are path-agnostic, this
+/// boundary is where it gets attached.
 StatusOr<SnapshotFile> OpenSnapshot(const std::string& path) {
   SnapshotFile file;
   PINUM_RETURN_IF_ERROR(ReadFileBytes(path, &file.bytes));
-  PINUM_RETURN_IF_ERROR(
-      ValidateFraming(file.bytes.data(), file.bytes.size(), &file.view));
+  PINUM_RETURN_IF_ERROR(AnnotateFile(
+      ValidateFraming(file.bytes.data(), file.bytes.size(), &file.view),
+      path));
   return file;
 }
 
@@ -451,24 +466,100 @@ Status SaveSnapshot(const std::string& path,
   header.U64(kHeaderBytes + body.size());
   header.U64(FnvBytes(kFnvOffset, body.bytes().data(), body.size()));
 
-  // Write-temp-then-rename: a failed or interrupted save (full disk,
-  // crash mid-write) must never destroy the previously good snapshot at
-  // `path` — losing it would force exactly the optimizer-call rebuild
-  // persistence exists to avoid.
+  // Write-temp-then-rename, with fsync on both sides of the rename: a
+  // failed or interrupted save (full disk, crash mid-write, power cut)
+  // must never destroy the previously good snapshot at `path` — losing
+  // it would force exactly the optimizer-call rebuild persistence
+  // exists to avoid. The tmp file is fsynced *before* the rename so the
+  // metadata operation can never reach disk ahead of the data (the
+  // classic renamed-but-empty-file crash), and the directory is fsynced
+  // *after* so the rename itself survives a power cut.
   const std::string tmp = path + ".tmp";
+  {
+    Status injected = FailPoint::Check("snapshot.save.open");
+    if (!injected.ok()) return AnnotateFile(std::move(injected), tmp);
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open " + tmp + " for writing");
   }
-  const bool wrote =
-      std::fwrite(header.bytes().data(), 1, header.size(), f) ==
-          header.size() &&
-      std::fwrite(body.bytes().data(), 1, body.size(), f) == body.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+  // Every failure below cleans up the torn tmp and reports where in the
+  // file the write stopped — a fleet log line must identify both the
+  // file and the byte.
+  auto fail = [&f, &tmp](Status st, uint64_t offset) {
+    std::fclose(f);
+    f = nullptr;
     std::remove(tmp.c_str());
-    return Status::Internal("I/O error writing snapshot " + path);
+    return AnnotateFile(Status(st.code(), st.message() + " at byte offset " +
+                                              std::to_string(offset)),
+                        tmp);
+  };
+
+  size_t put = std::fwrite(header.bytes().data(), 1, header.size(), f);
+  if (put != header.size()) {
+    return fail(Status::Internal("short write of snapshot header"), put);
   }
+  {
+    // The short-write failpoint models a disk filling mid-body: half
+    // the body genuinely lands in the tmp file before the failure, so
+    // the cleanup path is tortured with a really-torn file.
+    Status injected = FailPoint::Check("snapshot.save.short_write");
+    if (!injected.ok()) {
+      const size_t torn = body.size() / 2;
+      (void)std::fwrite(body.bytes().data(), 1, torn, f);
+      return fail(std::move(injected), header.size() + torn);
+    }
+  }
+  put = std::fwrite(body.bytes().data(), 1, body.size(), f);
+  if (put != body.size()) {
+    return fail(Status::Internal("short write of snapshot body"),
+                header.size() + put);
+  }
+
+  {
+    Status injected = FailPoint::Check("snapshot.save.fsync");
+    if (!injected.ok()) {
+      return fail(std::move(injected), header.size() + body.size());
+    }
+  }
+#ifndef _WIN32
+  if (std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+    return fail(Status::Internal("fsync of snapshot tmp file failed"),
+                header.size() + body.size());
+  }
+#endif
+  if (std::fclose(f) != 0) {
+    f = nullptr;
+    std::remove(tmp.c_str());
+    return AnnotateFile(Status::Internal("close of snapshot tmp file failed"),
+                        tmp);
+  }
+  f = nullptr;
+
+  {
+    Status injected = FailPoint::Check("snapshot.save.rename");
+    if (!injected.ok()) {
+      std::remove(tmp.c_str());
+      return AnnotateFile(std::move(injected), path);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+#ifndef _WIN32
+  // Best-effort directory fsync: some filesystems reject it, and by
+  // this point the rename has succeeded — the snapshot at `path` is
+  // valid either way, so a directory-sync failure is not a save failure.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
   return Status::OK();
 }
 
@@ -485,20 +576,33 @@ StatusOr<WorkloadSnapshot> LoadSnapshot(const std::string& path,
 
   WorkloadSnapshot snapshot;
   snapshot.universe = stored.universe;
-  PINUM_RETURN_IF_ERROR(DecodeQueries(file.view, &snapshot.query_names,
-                                      &snapshot.query_stamps));
+  PINUM_RETURN_IF_ERROR(AnnotateFile(
+      DecodeQueries(file.view, &snapshot.query_names, &snapshot.query_stamps),
+      path));
 
   std::vector<CacheRecord> records;
-  PINUM_RETURN_IF_ERROR(
-      SliceCacheRecords(file.view, snapshot.query_names.size(), &records));
+  PINUM_RETURN_IF_ERROR(AnnotateFile(
+      SliceCacheRecords(file.view, snapshot.query_names.size(), &records),
+      path));
   snapshot.sealed.resize(records.size());
   for (size_t i = 0; i < records.size(); ++i) {
     // Each record decodes from exactly its framed slice: the image's
     // structural validation (SealedCache::ValidateImage) rejects any
     // record whose contents disagree with its declared length, which is
-    // also what keeps spliced (patched) records honest.
-    PINUM_RETURN_IF_ERROR(SnapshotCodec::DecodeOwned(
-        records[i].data, records[i].size, &snapshot.sealed[i]));
+    // also what keeps spliced (patched) records honest. A rejection
+    // names the record and its file offset — the byte range to dump
+    // when a fleet log reports one bad record among thousands.
+    Status st = SnapshotCodec::DecodeOwned(records[i].data, records[i].size,
+                                           &snapshot.sealed[i]);
+    if (!st.ok()) {
+      return AnnotateFile(
+          Status(st.code(),
+                 st.message() + " (cache record " + std::to_string(i) +
+                     " at file offset " +
+                     std::to_string(records[i].data - file.bytes.data()) +
+                     ")"),
+          path);
+    }
   }
   return snapshot;
 }

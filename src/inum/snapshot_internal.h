@@ -111,6 +111,16 @@ inline Status Corrupt(const std::string& what) {
   return Status::Internal("snapshot corrupt: " + what);
 }
 
+/// Appends the originating file path to a failure Status. Fleet logs
+/// aggregate errors from many processes serving many snapshots; a
+/// path-free "snapshot corrupt" line cannot be acted on. Applied at the
+/// boundary where the path is known (the two load paths + the saver), so
+/// the byte-level validators stay path-agnostic and shareable.
+inline Status AnnotateFile(Status st, const std::string& path) {
+  if (st.ok()) return st;
+  return Status(st.code(), st.message() + " [file: " + path + "]");
+}
+
 // ---- Byte-level encode/decode helpers -----------------------------------
 
 class ByteWriter {
@@ -146,7 +156,10 @@ class ByteReader {
 
   Status Raw(void* dst, size_t n, const char* what) {
     if (n > size_ - pos_) {
-      return Corrupt(std::string(what) + " overruns its section");
+      return Corrupt(std::string(what) + " overruns its section (" +
+                     std::to_string(n) + " bytes at section offset " +
+                     std::to_string(pos_) + " of " + std::to_string(size_) +
+                     ")");
     }
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
@@ -166,7 +179,10 @@ class ByteReader {
     uint64_t count = 0;
     PINUM_RETURN_IF_ERROR(U64(&count, what));
     if (count > (size_ - pos_) / sizeof(T)) {
-      return Corrupt(std::string(what) + " count overruns its section");
+      return Corrupt(std::string(what) + " count overruns its section (" +
+                     std::to_string(count) + " elements declared at section"
+                     " offset " + std::to_string(pos_ - sizeof(uint64_t)) +
+                     ", " + std::to_string(size_ - pos_) + " bytes remain)");
     }
     out->resize(static_cast<size_t>(count));
     if (count != 0) {
@@ -298,7 +314,11 @@ inline Status ValidateFraming(const char* data, size_t actual_size,
     std::memcpy(&s.length, entry + 16, 8);
     if (s.offset < kHeaderBytes + table_bytes || s.offset > actual_size ||
         s.length > actual_size - s.offset) {
-      return Corrupt("section overruns the file");
+      std::snprintf(msg, sizeof(msg),
+                    "section %u (tag %u) overruns the file (offset %" PRIu64
+                    ", length %" PRIu64 ", file is %zu bytes)",
+                    i, s.tag, s.offset, s.length, actual_size);
+      return Corrupt(msg);
     }
     out->sections.push_back(s);
   }
@@ -477,7 +497,11 @@ inline Status SliceCacheRecords(const SnapshotView& file,
   for (uint32_t i = 0; i < count; ++i) {
     const size_t len = static_cast<size_t>(lengths[i]);
     if (len > static_cast<size_t>(caches->length) - at) {
-      return Corrupt("cache record overruns its section");
+      return Corrupt("cache record " + std::to_string(i) + " overruns its"
+                     " section (" + std::to_string(len) + " bytes declared at"
+                     " section offset " + std::to_string(at) + ", section is " +
+                     std::to_string(caches->length) + " bytes; file offset " +
+                     std::to_string(caches->offset + at) + ")");
     }
     out->push_back(CacheRecord{section + at, len});
     at += len;

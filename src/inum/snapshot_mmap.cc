@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "inum/snapshot_internal.h"
 
 #if !defined(_WIN32)
@@ -13,6 +14,7 @@
 
 namespace pinum {
 
+using snapshot_internal::AnnotateFile;
 using snapshot_internal::CacheRecord;
 using snapshot_internal::CheckEpochCompatible;
 using snapshot_internal::DecodeEpoch;
@@ -44,6 +46,10 @@ class MappedFile {
  public:
   static StatusOr<std::shared_ptr<const MappedFile>> Open(
       const std::string& path) {
+    {
+      Status injected = FailPoint::Check("snapshot.mmap.map");
+      if (!injected.ok()) return AnnotateFile(std::move(injected), path);
+    }
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
       return Status::NotFound("cannot open snapshot " + path);
@@ -98,18 +104,20 @@ StatusOr<MappedWorkloadSnapshot> MappedWorkloadSnapshot::Map(
   // queries) framing — identical checks, in identical order, to the
   // decode path's OpenSnapshot.
   SnapshotView view;
-  PINUM_RETURN_IF_ERROR(ValidateFraming(file->data(), file->size(), &view));
+  PINUM_RETURN_IF_ERROR(
+      AnnotateFile(ValidateFraming(file->data(), file->size(), &view), path));
   PINUM_ASSIGN_OR_RETURN(const SnapshotEpoch stored, DecodeEpoch(view));
   PINUM_RETURN_IF_ERROR(CheckEpochCompatible(stored, expected));
 
   MappedWorkloadSnapshot snapshot;
   snapshot.universe = stored.universe;
-  PINUM_RETURN_IF_ERROR(
-      DecodeQueries(view, &snapshot.query_names, &snapshot.query_stamps));
+  PINUM_RETURN_IF_ERROR(AnnotateFile(
+      DecodeQueries(view, &snapshot.query_names, &snapshot.query_stamps),
+      path));
 
   std::vector<CacheRecord> records;
-  PINUM_RETURN_IF_ERROR(
-      SliceCacheRecords(view, snapshot.query_names.size(), &records));
+  PINUM_RETURN_IF_ERROR(AnnotateFile(
+      SliceCacheRecords(view, snapshot.query_names.size(), &records), path));
 
   // Bind each cache's views straight into the mapping. Validation runs
   // per image *before* the views are installed; any rejected image
@@ -118,9 +126,17 @@ StatusOr<MappedWorkloadSnapshot> MappedWorkloadSnapshot::Map(
   // struct (and its `mapping` handle) are gone.
   snapshot.sealed.resize(records.size());
   for (size_t i = 0; i < records.size(); ++i) {
-    PINUM_RETURN_IF_ERROR(SnapshotCodec::View(records[i].data,
-                                              records[i].size, file,
-                                              &snapshot.sealed[i]));
+    Status st = SnapshotCodec::View(records[i].data, records[i].size, file,
+                                    &snapshot.sealed[i]);
+    if (!st.ok()) {
+      return AnnotateFile(
+          Status(st.code(), st.message() + " (cache record " +
+                                std::to_string(i) + " at file offset " +
+                                std::to_string(records[i].data -
+                                               file->data()) +
+                                ")"),
+          path);
+    }
   }
   snapshot.mapped_bytes = file->size();
   snapshot.mapping = std::move(file);

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "inum/inum_builder.h"
 #include "optimizer/interesting_orders.h"
@@ -68,6 +69,10 @@ StatusOr<InumCache> BuildInumCachePinum(const Query& query,
     knobs.enable_nestloop = false;
     knobs.hooks.export_all_plans = true;
     knobs.hooks.keep_all_access_paths = false;
+    // Fault injection mirrors the classic builder: every optimizer
+    // invocation is one hit, so the k-th call of a reseal can be failed
+    // or stalled regardless of which builder mode is active.
+    PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.plan_optimizer_call"));
     PINUM_ASSIGN_OR_RETURN(OptimizeResult result, opt.Optimize(query, knobs));
     for (const PathPtr& plan : result.exported) {
       cache.AddPlan(*plan, covering, !query.order_by.empty());
@@ -93,6 +98,7 @@ StatusOr<InumCache> BuildInumCachePinum(const Query& query,
       knobs.enable_nestloop = true;
       knobs.hooks.export_all_plans = options.nlj_export_all;
       knobs.hooks.keep_all_access_paths = false;
+      PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.plan_optimizer_call"));
       PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
                              opt.Optimize(query, knobs));
       for (const PathPtr& plan : result.exported) {
@@ -123,6 +129,7 @@ StatusOr<InumCache> BuildInumCachePinum(const Query& query,
         PlannerKnobs knobs = options.base_knobs;
         knobs.enable_nestloop = true;
         knobs.hooks = PlannerHooks{};
+        PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.plan_optimizer_call"));
         PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
                                opt.Optimize(query, knobs));
         cache.AddPlan(*result.best, covering, !query.order_by.empty());
@@ -156,6 +163,7 @@ StatusOr<InumCache> BuildInumCachePinum(const Query& query,
       PlannerKnobs knobs = options.base_knobs;
       knobs.hooks.keep_all_access_paths = true;
       knobs.hooks.export_all_plans = false;
+      PINUM_RETURN_IF_ERROR(FailPoint::Check("inum.access_optimizer_call"));
       PINUM_ASSIGN_OR_RETURN(OptimizeResult result,
                              opt.Optimize(query, knobs));
       for (const auto& info : result.access_info) {

@@ -13,6 +13,16 @@
 // atomic store. Old generations are reclaimed by shared_ptr refcount
 // when the last pinned reader drops them.
 //
+// On top of the swap sits the self-healing layer (docs/SERVING.md,
+// "Failure semantics"): a failed reseal never stops serving — the last
+// good generation keeps answering bit-identically (stale-while-
+// revalidate) while the drift watcher retries with exponential backoff
+// under MaintenancePolicy; repeated failure degrades the HealthReport
+// to kDegraded, and the first success after the fault clears recovers
+// it to kHealthy automatically. SubmitCost futures carry per-request
+// deadlines, so a stalled pump answers kDeadlineExceeded instead of
+// leaving callers parked on a future forever.
+//
 // Thread-safety contract (docs/SERVING.md has the long form):
 //  - Pin/Cost/BatchCost/SubmitCost/PumpOnce: any thread, any time,
 //    concurrent with each other and with maintenance.
@@ -22,6 +32,7 @@
 //    through WithWorld so it serializes against stamp reads and
 //    rebuilds; the serving path never touches the world, only
 //    published generations.
+//  - Health/MaintenanceEvents/Stats: any thread, any time.
 //  - WorkloadCostEvaluator::EvalScratch stays one-caller-at-a-time as
 //    documented in greedy_advisor.h; the engine never shares one.
 #ifndef PINUM_SERVING_SERVING_ENGINE_H_
@@ -49,6 +60,32 @@
 
 namespace pinum {
 
+/// How maintenance behaves when reseals fail: the drift watcher retries
+/// a failing reseal with exponential backoff instead of hammering the
+/// poll interval, and after max_retries consecutive failures the engine
+/// reports kDegraded — still serving the last good generation — until a
+/// reseal succeeds again.
+struct MaintenancePolicy {
+  /// Consecutive reseal failures before Health() reports kDegraded.
+  /// Retrying never stops (the fault may clear); this only moves the
+  /// health state, so operators alarm on persistent faults rather than
+  /// one blip.
+  int max_retries = 3;
+  /// Backoff before the first retry; doubles (backoff_multiplier) per
+  /// consecutive failure, capped at the max_retries exponent.
+  std::chrono::milliseconds initial_backoff{10};
+  double backoff_multiplier = 2.0;
+  /// Seed for the +-25% jitter on every backoff wait (deterministic per
+  /// engine; keeps a fleet of engines from retrying in lockstep).
+  uint64_t jitter_seed = 0;
+  /// Wall-clock budget for one reseal. A rebuild cannot be aborted
+  /// mid-computation, so this is enforced at publication: a reseal that
+  /// finishes past its deadline reports kDeadlineExceeded and is NOT
+  /// published — the world will still be stale, the next attempt (or a
+  /// faster moment) publishes instead. Zero disables the budget.
+  std::chrono::milliseconds reseal_deadline{0};
+};
+
 /// Serving-engine knobs.
 struct ServingOptions {
   /// Admission control: SubmitCost sheds with kUnavailable once this
@@ -62,16 +99,95 @@ struct ServingOptions {
   /// the builder's pool — concurrent ParallelFor regions are safe).
   /// Null prices serially.
   ThreadPool* pool = nullptr;
+  /// Deadline applied to SubmitCost requests that don't pass their own
+  /// (zero = no deadline, the pre-existing wait-forever behavior).
+  std::chrono::milliseconds default_deadline{0};
+  /// Reseal retry/backoff/degradation policy (see MaintenancePolicy).
+  MaintenancePolicy maintenance;
+  /// Bound on the maintenance-event ring MaintenanceEvents() serves;
+  /// older events fall off the front.
+  size_t max_maintenance_events = 64;
 };
 
 /// One answered cost question: the workload cost plus the id of the
-/// generation that produced it. Every answer is bit-identical to a cold
-/// rebuild of that generation's world — the concurrency stress suite
-/// pins this — so the id tells the caller exactly which world snapshot
-/// they were quoted.
+/// generation that produced it. Every OK answer is bit-identical to a
+/// cold rebuild of that generation's world — the concurrency stress
+/// suite pins this — so the id tells the caller exactly which world
+/// snapshot they were quoted. A non-OK `status` (kDeadlineExceeded for
+/// a request that expired in the queue, kInternal for a pricing sweep
+/// that faulted) means `cost` is meaningless and `generation` is 0.
 struct CostAnswer {
   double cost = 0;
   uint64_t generation = 0;
+  Status status;
+};
+
+/// Two-state serving health. The engine NEVER stops answering — even
+/// kDegraded serves the last good generation bit-identically; the state
+/// says whether maintenance is keeping up with the world.
+enum class HealthState {
+  /// Reseals are succeeding (or nothing has needed one).
+  kHealthy,
+  /// max_retries consecutive reseals have failed; serving continues
+  /// from the last good generation (stale-while-revalidate) and the
+  /// watcher keeps retrying. Auto-recovers on the next success.
+  kDegraded,
+};
+
+/// One timestamped maintenance-ring entry (see MaintenanceEvents()).
+struct MaintenanceEvent {
+  enum class Kind {
+    kResealSucceeded,
+    kResealFailed,
+    /// The watcher scheduled a backoff retry after a failure; `backoff`
+    /// holds the wait it chose (jitter included).
+    kRetryScheduled,
+    /// Consecutive failures crossed max_retries: health kDegraded.
+    kDegraded,
+    /// First success after kDegraded: health back to kHealthy.
+    kRecovered,
+  };
+  Kind kind = Kind::kResealSucceeded;
+  /// The reseal's Status (OK for kResealSucceeded/kRecovered).
+  Status status;
+  /// Generation published (success) or still serving (failure).
+  uint64_t generation = 0;
+  /// Consecutive-failure count at the time of the event.
+  int consecutive_failures = 0;
+  std::chrono::milliseconds backoff{0};
+  std::chrono::steady_clock::time_point at;
+};
+
+/// Snapshot of serving health, readable from any thread.
+struct HealthReport {
+  HealthState state = HealthState::kHealthy;
+  /// Last reseal failure (OK if the most recent reseal succeeded or
+  /// none has run).
+  Status last_error;
+  int consecutive_failures = 0;
+  /// Id of the generation currently serving.
+  uint64_t generation = 0;
+};
+
+/// Monotonic counters for shed/failure observability: tests and benches
+/// assert shedding and degradation actually happened instead of
+/// inferring them from timing.
+struct ServingStats {
+  /// SubmitCost calls admitted into the queue.
+  uint64_t submitted = 0;
+  /// Futures fulfilled with an OK priced answer.
+  uint64_t answered = 0;
+  /// SubmitCost calls shed with kUnavailable (queue full).
+  uint64_t shed_unavailable = 0;
+  /// Futures fulfilled with kDeadlineExceeded (expired in the queue).
+  uint64_t deadline_expired = 0;
+  /// Futures fulfilled with an error because their pricing sweep
+  /// faulted (e.g. an injected pool fault mid-BatchCost).
+  uint64_t pricing_failures = 0;
+  uint64_t reseal_attempts = 0;
+  uint64_t reseal_failures = 0;
+  /// kDegraded -> kHealthy transitions.
+  uint64_t recoveries = 0;
 };
 
 /// Always-on serving front end over one workload's sealed caches.
@@ -129,12 +245,26 @@ class ServingEngine {
   /// the-request rejection — when max_queue_depth requests are already
   /// waiting. The future is fulfilled by the dispatcher thread (if
   /// started), any PumpOnce caller, or at latest the destructor.
-  StatusOr<std::future<CostAnswer>> SubmitCost(IndexConfig config);
+  ///
+  /// `deadline` bounds how long the request may wait in the queue
+  /// (zero: fall back to options.default_deadline; both zero: wait
+  /// indefinitely). A request past its deadline when a pump pops it is
+  /// answered with CostAnswer.status == kDeadlineExceeded instead of a
+  /// price — fulfilled, never abandoned — so no future outlives its
+  /// deadline unanswered once anything pumps (the dispatcher makes that
+  /// prompt; without it, the next PumpOnce or the destructor).
+  StatusOr<std::future<CostAnswer>> SubmitCost(
+      IndexConfig config,
+      std::chrono::milliseconds deadline = std::chrono::milliseconds(0));
 
-  /// Drains up to max_batch queued requests, prices them in one
-  /// BatchCost sweep against one pinned generation, and fulfils their
-  /// futures. Returns how many were answered (0 = queue was empty).
-  /// Safe from any thread, including concurrent with the dispatcher.
+  /// Drains up to max_batch queued requests, answers expired ones with
+  /// kDeadlineExceeded, prices the rest in one BatchCost sweep against
+  /// one pinned generation, and fulfils their futures. Returns how many
+  /// futures were fulfilled (0 = queue was empty). If the pricing sweep
+  /// itself faults (an injected pool fault, a throwing cost body), every
+  /// request in the batch is fulfilled with an error answer — a faulting
+  /// sweep never abandons promises or kills the pumping thread. Safe
+  /// from any thread, including concurrent with the dispatcher.
   size_t PumpOnce();
 
   /// Starts/stops the background dispatcher thread that pumps whenever
@@ -163,7 +293,8 @@ class ServingEngine {
   /// Rebuilds the named queries into a copy of the current generation
   /// and publishes the copy as the next generation, concurrent with
   /// serving. On error nothing is published and the current generation
-  /// keeps serving.
+  /// keeps serving. A rebuild that throws (pool-task faults surface as
+  /// exceptions) is converted to a kInternal Status — same contract.
   Status Reseal(const std::vector<std::string>& names);
 
   /// StaleNames + Reseal under one maintenance-mutex hold. Returns
@@ -171,8 +302,12 @@ class ServingEngine {
   StatusOr<bool> CheckAndReseal();
 
   /// Starts/stops the drift watcher: a background thread that runs
-  /// CheckAndReseal every `poll`. Watcher errors never stop serving;
-  /// they are recorded and readable via LastMaintenanceStatus.
+  /// CheckAndReseal every `poll`. Watcher errors never stop serving:
+  /// they are recorded (LastMaintenanceStatus, MaintenanceEvents) and
+  /// retried with exponential backoff under options.maintenance —
+  /// after a failure the watcher waits backoff instead of poll, so a
+  /// persistent fault is retried gently and a transient one heals at
+  /// the next attempt.
   void StartDriftWatcher(std::chrono::milliseconds poll);
   void StopDriftWatcher();
 
@@ -180,10 +315,25 @@ class ServingEngine {
   /// watcher parks errors here since it has no caller to return to.
   Status LastMaintenanceStatus() const;
 
+  // ---- Health + observability ----
+
+  /// Current serving health (see HealthState). Readable any time.
+  HealthReport Health() const;
+
+  /// The bounded maintenance-event ring, oldest first: every reseal
+  /// outcome, scheduled retry, degradation, and recovery, timestamped.
+  /// At most options.max_maintenance_events entries are retained.
+  std::vector<MaintenanceEvent> MaintenanceEvents() const;
+
+  /// Monotonic shed/failure counters (see ServingStats).
+  ServingStats Stats() const;
+
  private:
   struct PendingRequest {
     IndexConfig config;
     std::promise<CostAnswer> promise;
+    /// Queue-residency bound; time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline;
   };
 
   /// Atomically replaces the current generation. Publication order is
@@ -192,6 +342,11 @@ class ServingEngine {
 
   std::vector<std::string> StaleNamesLocked() const;
   Status ResealLocked(const std::vector<std::string>& names);
+
+  /// Folds one reseal outcome into the health state + event ring.
+  /// `published` is the generation id serving after the attempt.
+  void RecordResealOutcome(const Status& status, uint64_t published);
+  void PushEventLocked(MaintenanceEvent event);  // status_mu_ held
 
   void DispatcherLoop();
   void WatcherLoop(std::chrono::milliseconds poll);
@@ -207,8 +362,22 @@ class ServingEngine {
   /// Serializes every world mutation, stamp read, and rebuild.
   std::mutex maintenance_mu_;
 
+  /// Guards the health/event state below.
   mutable std::mutex status_mu_;
   Status last_maintenance_status_;
+  HealthState health_ = HealthState::kHealthy;
+  int consecutive_failures_ = 0;
+  std::deque<MaintenanceEvent> events_;
+
+  // Monotonic counters; relaxed is fine, they are statistics.
+  std::atomic<uint64_t> stat_submitted_{0};
+  std::atomic<uint64_t> stat_answered_{0};
+  std::atomic<uint64_t> stat_shed_unavailable_{0};
+  std::atomic<uint64_t> stat_deadline_expired_{0};
+  std::atomic<uint64_t> stat_pricing_failures_{0};
+  std::atomic<uint64_t> stat_reseal_attempts_{0};
+  std::atomic<uint64_t> stat_reseal_failures_{0};
+  std::atomic<uint64_t> stat_recoveries_{0};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "inum/snapshot_mmap.h"
 
@@ -22,6 +23,10 @@ Status WorkloadCacheBuilder::BuildOne(const Query& query,
                                       SharedAccessCostStore* store,
                                       InumCache* cache,
                                       QueryBuildStats* query_stats) const {
+  // One hit per per-query (re)build — the unit a reseal retries. Fired
+  // from whichever pool thread claims the query; callers annotate the
+  // returned Status with the query name.
+  PINUM_RETURN_IF_ERROR(FailPoint::Check("workload.build_query"));
   if (options_.mode == CacheBuildMode::kPinum) {
     PinumBuildOptions opts = options_.pinum;
     opts.shared_access = store;

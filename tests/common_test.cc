@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <set>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/bitset64.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/status.h"
@@ -38,7 +40,8 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kUnimplemented, StatusCode::kInternal,
-        StatusCode::kFailedPrecondition, StatusCode::kUnavailable}) {
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }
@@ -309,6 +312,68 @@ TEST(ThreadPoolTest, ConcurrentRegionsFromTwoCallers) {
   other.join();
   EXPECT_EQ(total.load(), 2 * 20 * 64);
   EXPECT_EQ(pool.QueueDepthForTesting(), 0u);
+}
+
+TEST(ThreadPoolTest, InjectedNthHitFaultRethrownAndPoolSurvives) {
+  ThreadPool pool(4);
+  FailPoint::Config fault;
+  fault.mode = FailPoint::Mode::kNthHit;
+  fault.nth_hit = 5;
+  fault.status = Status::Internal("injected task fault");
+  ScopedFailPoint guard("thread_pool.task", fault);
+  std::atomic<int64_t> ran{0};
+  EXPECT_THROW(pool.ParallelFor(64, [&](int64_t) { ran++; }),
+               std::runtime_error);
+  EXPECT_EQ(FailPoint::FireCount("thread_pool.task"), 1);
+  // The nth-hit fault fires exactly once; the pool stays usable.
+  std::atomic<int64_t> after{0};
+  pool.ParallelFor(64, [&](int64_t) { after++; });
+  EXPECT_EQ(after.load(), 64);
+  EXPECT_EQ(pool.QueueDepthForTesting(), 0u);
+}
+
+TEST(ThreadPoolTest, SeededProbabilityFaultsLeaveQueueClean) {
+  ThreadPool pool(4);
+  FailPoint::Config fault;
+  fault.mode = FailPoint::Mode::kProbability;
+  fault.probability = 0.05;
+  fault.seed = 17;
+  fault.status = Status::Unavailable("injected flaky task");
+  ScopedFailPoint guard("thread_pool.task", fault);
+  int threw = 0;
+  for (int round = 0; round < 50; ++round) {
+    try {
+      pool.ParallelFor(32, [](int64_t) {});
+    } catch (const std::runtime_error&) {
+      threw++;
+    }
+    // A throwing region must still retire its queue entries.
+    EXPECT_EQ(pool.QueueDepthForTesting(), 0u);
+  }
+  EXPECT_GT(threw, 0);
+  // A region rethrows only the first fault, so fires >= throwing regions.
+  EXPECT_GE(FailPoint::FireCount("thread_pool.task"),
+            static_cast<int64_t>(threw));
+}
+
+TEST(ThreadPoolTest, TeardownAfterStalledConcurrentRegionsIsClean) {
+  FailPoint::Config stall;
+  stall.mode = FailPoint::Mode::kAlways;
+  stall.status = Status::OK();
+  stall.delay = std::chrono::milliseconds(2);
+  ScopedFailPoint guard("thread_pool.task", stall);
+  std::atomic<int64_t> ran{0};
+  {
+    ThreadPool pool(4);
+    std::thread other(
+        [&] { pool.ParallelFor(16, [&](int64_t) { ran++; }); });
+    pool.ParallelFor(16, [&](int64_t) { ran++; });
+    other.join();
+    EXPECT_EQ(pool.QueueDepthForTesting(), 0u);
+    // Pool destructor runs right after the delayed regions drain; a
+    // worker still waking from the stall must not crash teardown.
+  }
+  EXPECT_EQ(ran.load(), 32);
 }
 
 }  // namespace
