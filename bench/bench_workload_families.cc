@@ -1,0 +1,114 @@
+// Workload-family sweep: for every registered family (star, chain,
+// skew, fact_pair) x seeds {1, 2}, measures generation, PINUM build +
+// seal, and greedy-advisor time, and reports the corpus-relevant shape
+// numbers (queries, candidates, plans cached/pruned, terms, postings,
+// advisor picks). The per-commit trajectory of these rows is the perf
+// backdrop behind the golden plan-stability corpus (tests/corpus/).
+//
+//   $ ./bench_workload_families [--json out.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "advisor/greedy_advisor.h"
+#include "bench_util.h"
+#include "workload/workload_family.h"
+
+namespace pinum {
+namespace {
+
+int Run(const std::string& json_path) {
+  std::printf("# Workload-family sweep: build + seal + advise per family\n");
+  std::printf("%-10s %-5s | %-4s %-5s %-6s | %-6s %-7s %-6s %-9s | %-9s "
+              "%-9s %-9s | %-6s\n",
+              "family", "seed", "qs", "cands", "joins", "plans", "pruned",
+              "terms", "postings", "gen_ms", "build_ms", "advise_ms",
+              "picks");
+
+  bench::JsonSummary summary;
+  for (const std::string& family : WorkloadFamilyNames()) {
+    for (const uint64_t seed : {uint64_t{1}, uint64_t{2}}) {
+      WorkloadFamilyOptions options;
+      options.seed = seed;
+      Stopwatch gen_sw;
+      auto inst = MakeWorkloadInstance(family, options);
+      if (!inst.ok()) {
+        std::fprintf(stderr, "%s seed %llu: %s\n", family.c_str(),
+                     static_cast<unsigned long long>(seed),
+                     inst.status().ToString().c_str());
+        return 1;
+      }
+      const double gen_ms = gen_sw.ElapsedMillis();
+
+      WorkloadCacheOptions opts;
+      WorkloadCacheBuilder builder(&(*inst)->catalog(), &(*inst)->set,
+                                   &(*inst)->stats(), opts);
+      Stopwatch build_sw;
+      auto built = builder.BuildAll((*inst)->queries);
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s seed %llu build: %s\n", family.c_str(),
+                     static_cast<unsigned long long>(seed),
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      const double build_ms = build_sw.ElapsedMillis();
+
+      size_t joins = 0;
+      for (const Query& q : (*inst)->queries) joins += q.joins.size();
+      size_t plans = 0, pruned = 0, terms = 0, postings = 0;
+      for (const SealedCache& sealed : built->sealed) {
+        plans += sealed.NumPlans();
+        pruned += sealed.NumPlansPruned();
+        terms += sealed.NumTerms();
+        postings += sealed.NumPostings();
+      }
+
+      AdvisorOptions aopts;
+      Stopwatch advise_sw;
+      const AdvisorResult advised =
+          RunGreedyAdvisor(built->sealed, (*inst)->set, aopts);
+      const double advise_ms = advise_sw.ElapsedMillis();
+
+      std::printf("%-10s %-5llu | %-4zu %-5zu %-6zu | %-6zu %-7zu %-6zu "
+                  "%-9zu | %-9.2f %-9.2f %-9.2f | %-6zu\n",
+                  family.c_str(), static_cast<unsigned long long>(seed),
+                  (*inst)->queries.size(),
+                  (*inst)->set.candidate_ids.size(), joins, plans, pruned,
+                  terms, postings, gen_ms, build_ms, advise_ms,
+                  advised.chosen.size());
+
+      const std::string tag =
+          family + "_s" + std::to_string(seed) + "_";
+      summary.Set(tag + "queries",
+                  static_cast<int64_t>((*inst)->queries.size()));
+      summary.Set(tag + "candidates",
+                  static_cast<int64_t>((*inst)->set.candidate_ids.size()));
+      summary.Set(tag + "plans", static_cast<int64_t>(plans));
+      summary.Set(tag + "plans_pruned", static_cast<int64_t>(pruned));
+      summary.Set(tag + "gen_ms", gen_ms);
+      summary.Set(tag + "build_ms", build_ms);
+      summary.Set(tag + "advise_ms", advise_ms);
+      summary.Set(tag + "advisor_picks",
+                  static_cast<int64_t>(advised.chosen.size()));
+    }
+  }
+  if (!json_path.empty() && !summary.WriteTo(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace pinum
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_workload_families [--json out.json]\n");
+      return 2;
+    }
+  }
+  return pinum::Run(json_path);
+}

@@ -1,0 +1,579 @@
+#include "workload/workload_family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "advisor/candidate_generator.h"
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "workload/drift.h"
+#include "workload/star_schema.h"
+
+namespace pinum {
+
+namespace {
+
+constexpr int64_t kPayloadMax = 1'000'000'000;
+
+/// Uniform synthetic column statistics (the star generator's regime).
+ColumnStats UniformCol(double n_distinct, Value min, Value max,
+                       double correlation) {
+  ColumnStats cs;
+  cs.n_distinct = n_distinct;
+  cs.min = min;
+  cs.max = max;
+  cs.correlation = correlation;
+  cs.histogram = Histogram::Uniform(min, max);
+  return cs;
+}
+
+/// Skewed synthetic column statistics: an equi-depth histogram over
+/// seeded samples v = 1 + (max-1) * u^alpha — mass piles up near 1 for
+/// alpha > 1, so equal-width filter bounds hit wildly unequal row
+/// fractions (the regime uniform stats can never produce).
+ColumnStats SkewedCol(Rng* rng, double alpha, double n_distinct,
+                      double correlation) {
+  std::vector<Value> data(2048);
+  for (Value& v : data) {
+    v = 1 + static_cast<Value>(std::pow(rng->NextDouble(), alpha) *
+                               static_cast<double>(kPayloadMax - 1));
+  }
+  ColumnStats cs;
+  cs.histogram = Histogram::FromData(std::move(data), 64);
+  cs.min = cs.histogram.min();
+  cs.max = cs.histogram.max();
+  cs.n_distinct = n_distinct;
+  cs.correlation = correlation;
+  return cs;
+}
+
+/// Log-uniform selectivity draw in [lo, hi] and the matching `col <=
+/// bound` constant on a uniform [1, kPayloadMax] column.
+Value UniformFilterBound(Rng* rng, double lo, double hi) {
+  const double u = rng->NextDouble();
+  const double sel = std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo)));
+  return 1 + static_cast<Value>(
+                 std::llround(sel * static_cast<double>(kPayloadMax - 1)));
+}
+
+/// Generates the candidate universe for a finished (catalog, stats,
+/// queries) bundle and finalizes the instance.
+StatusOr<std::unique_ptr<WorkloadInstance>> Finish(
+    std::unique_ptr<WorkloadInstance> inst, size_t max_candidates) {
+  CandidateOptions copt;
+  copt.max_candidates = max_candidates;
+  auto cands = GenerateCandidates(inst->queries, inst->db.catalog(),
+                                  inst->db.stats(), copt);
+  PINUM_ASSIGN_OR_RETURN(inst->set,
+                         MakeCandidateSet(inst->db.catalog(), cands));
+  return inst;
+}
+
+// ---- Family #1: the paper's star schema ----------------------------------
+
+StatusOr<std::unique_ptr<WorkloadInstance>> MakeStar(
+    const WorkloadFamilyOptions& options) {
+  StarSchemaSpec spec;
+  spec.seed = options.seed;
+  spec.scale = options.scale;
+  // Prefix of the paper's Q1..Q10 sizes; the 6-query default stops at
+  // 5-way joins (6/7-way add sanitizer minutes but no new slot shapes).
+  const int nq = options.num_queries == 0
+                     ? 6
+                     : std::min<int>(options.num_queries,
+                                     static_cast<int>(spec.query_sizes.size()));
+  spec.query_sizes.resize(static_cast<size_t>(nq));
+  PINUM_ASSIGN_OR_RETURN(StarSchemaWorkload w, StarSchemaWorkload::Create(spec));
+
+  auto inst = std::make_unique<WorkloadInstance>();
+  inst->family = "star";
+  inst->options = options;
+  inst->queries = w.queries();
+  inst->tables = w.tables();
+  inst->db = std::move(w.db());
+  return Finish(std::move(inst), options.max_candidates);
+}
+
+// ---- Family #2: ad-hoc many-join chains (TPC-H/JOB-like) ------------------
+
+StatusOr<std::unique_ptr<WorkloadInstance>> MakeChain(
+    const WorkloadFamilyOptions& options) {
+  const int kChainLen = 8;
+  const std::set<int> kBranchAt = {1, 3, 5};
+  const int kMaxJoinChain = 5;  // plus at most one branch per query
+
+  auto inst = std::make_unique<WorkloadInstance>();
+  inst->family = "chain";
+  inst->options = options;
+  Catalog& cat = inst->db.catalog();
+
+  struct GenTable {
+    TableId id = kInvalidTableId;
+    double rows = 0;
+    ColumnIdx fk_next = -1;
+    ColumnIdx fk_side = -1;
+    std::vector<ColumnIdx> payload;
+  };
+  std::vector<GenTable> chain(kChainLen);
+  std::map<int, GenTable> branches;  // keyed by owner position
+
+  // Chain tables c0 (largest) .. c7, row counts descending geometrically
+  // — the many-join regime where join order and intermediate sizes
+  // dominate, not one fact table's scan.
+  for (int i = 0; i < kChainLen; ++i) {
+    TableDef def;
+    def.name = "c" + std::to_string(i);
+    def.columns.push_back({"id", TypeId::kInt64});
+    if (i + 1 < kChainLen) def.columns.push_back({"fk_next", TypeId::kInt64});
+    if (kBranchAt.count(i) > 0) {
+      def.columns.push_back({"fk_side", TypeId::kInt64});
+    }
+    for (int p = 1; p <= 6; ++p) {
+      def.columns.push_back({"p" + std::to_string(p), TypeId::kInt64});
+    }
+    GenTable& t = chain[static_cast<size_t>(i)];
+    t.rows = std::max(2000.0, 20e6 * options.scale / std::pow(5.0, i));
+    PINUM_ASSIGN_OR_RETURN(t.id, cat.AddTable(def));
+    const TableDef* added = cat.FindTable(t.id);
+    t.fk_next = added->FindColumn("fk_next");
+    t.fk_side = added->FindColumn("fk_side");
+    for (size_t c = 0; c < added->columns.size(); ++c) {
+      if (added->columns[c].name[0] == 'p') {
+        t.payload.push_back(static_cast<ColumnIdx>(c));
+      }
+    }
+    inst->tables.push_back(t.id);
+  }
+  for (int i : kBranchAt) {
+    TableDef def;
+    def.name = "b" + std::to_string(i);
+    def.columns.push_back({"id", TypeId::kInt64});
+    for (int p = 1; p <= 4; ++p) {
+      def.columns.push_back({"p" + std::to_string(p), TypeId::kInt64});
+    }
+    GenTable t;
+    t.rows = std::max(1000.0, chain[static_cast<size_t>(i)].rows / 2.0);
+    PINUM_ASSIGN_OR_RETURN(t.id, cat.AddTable(def));
+    const TableDef* added = cat.FindTable(t.id);
+    for (size_t c = 1; c < added->columns.size(); ++c) {
+      t.payload.push_back(static_cast<ColumnIdx>(c));
+    }
+    inst->tables.push_back(t.id);
+    branches.emplace(i, t);
+  }
+  for (int i = 0; i + 1 < kChainLen; ++i) {
+    PINUM_RETURN_IF_ERROR(cat.AddForeignKey({chain[static_cast<size_t>(i)].id,
+                                             chain[static_cast<size_t>(i)].fk_next,
+                                             chain[static_cast<size_t>(i + 1)].id,
+                                             0}));
+  }
+  for (const auto& [owner, b] : branches) {
+    PINUM_RETURN_IF_ERROR(cat.AddForeignKey(
+        {chain[static_cast<size_t>(owner)].id,
+         chain[static_cast<size_t>(owner)].fk_side, b.id, 0}));
+  }
+
+  auto put_stats = [&](const GenTable& t, double next_rows, double side_rows) {
+    const TableDef* def = cat.FindTable(t.id);
+    TableStats stats;
+    stats.row_count = t.rows;
+    stats.RecomputePages(*def);
+    stats.columns.resize(def->columns.size());
+    for (size_t c = 0; c < def->columns.size(); ++c) {
+      const std::string& name = def->columns[c].name;
+      if (name == "id") {
+        stats.columns[c] = UniformCol(t.rows, 0,
+                                      static_cast<Value>(t.rows) - 1, 1.0);
+      } else if (name == "fk_next") {
+        stats.columns[c] = UniformCol(std::min(t.rows, next_rows), 0,
+                                      static_cast<Value>(next_rows) - 1, 0.0);
+      } else if (name == "fk_side") {
+        stats.columns[c] = UniformCol(std::min(t.rows, side_rows), 0,
+                                      static_cast<Value>(side_rows) - 1, 0.0);
+      } else {
+        stats.columns[c] = UniformCol(std::min(t.rows, 1e9), 1,
+                                      kPayloadMax, 0.0);
+      }
+    }
+    inst->db.stats().Put(t.id, std::move(stats));
+  };
+  for (int i = 0; i < kChainLen; ++i) {
+    const double next_rows =
+        i + 1 < kChainLen ? chain[static_cast<size_t>(i + 1)].rows : 1;
+    const double side_rows =
+        branches.count(i) > 0 ? branches.at(i).rows : 1;
+    put_stats(chain[static_cast<size_t>(i)], next_rows, side_rows);
+  }
+  for (const auto& [owner, b] : branches) {
+    (void)owner;
+    put_stats(b, 1, 1);
+  }
+
+  // Queries: contiguous chain subpaths, sometimes widened by one branch.
+  Rng rng(options.seed);
+  const int nq = options.num_queries == 0 ? 10 : options.num_queries;
+  for (int qi = 0; qi < nq; ++qi) {
+    const int len = 2 + static_cast<int>(rng.Index(kMaxJoinChain - 1));
+    const int start =
+        static_cast<int>(rng.Index(static_cast<size_t>(kChainLen - len + 1)));
+
+    Query q;
+    q.name = "chain_q" + std::to_string(qi + 1);
+    std::vector<const GenTable*> joined;
+    for (int i = start; i < start + len; ++i) {
+      const GenTable& t = chain[static_cast<size_t>(i)];
+      q.tables.push_back(t.id);
+      joined.push_back(&t);
+      if (i > start) {
+        const GenTable& prev = chain[static_cast<size_t>(i - 1)];
+        q.joins.push_back({{prev.id, prev.fk_next}, {t.id, 0}});
+      }
+    }
+    if (rng.Chance(0.5)) {
+      std::vector<int> owners;
+      for (int i = start; i < start + len; ++i) {
+        if (branches.count(i) > 0) owners.push_back(i);
+      }
+      if (!owners.empty()) {
+        const int owner = owners[rng.Index(owners.size())];
+        const GenTable& oc = chain[static_cast<size_t>(owner)];
+        const GenTable& b = branches.at(owner);
+        q.tables.push_back(b.id);
+        joined.push_back(&b);
+        q.joins.push_back({{oc.id, oc.fk_side}, {b.id, 0}});
+      }
+    }
+
+    const int num_select = 2 + static_cast<int>(rng.Index(3));
+    for (int s = 0; s < num_select; ++s) {
+      const GenTable* t = joined[rng.Index(joined.size())];
+      const ColumnRef col = {t->id, t->payload[rng.Index(t->payload.size())]};
+      if (std::find(q.select.begin(), q.select.end(), col) == q.select.end()) {
+        q.select.push_back(col);
+      }
+    }
+    for (int f = 0; f < 2; ++f) {
+      const GenTable* t = joined[rng.Index(joined.size())];
+      q.filters.push_back({{t->id, t->payload[rng.Index(t->payload.size())]},
+                           CompareOp::kLe,
+                           UniformFilterBound(&rng, 0.002, 0.2)});
+    }
+    if (!q.select.empty() && rng.Chance(0.7)) {
+      q.order_by.push_back({q.select[rng.Index(q.select.size())], true});
+    }
+    inst->queries.push_back(std::move(q));
+  }
+  return Finish(std::move(inst), options.max_candidates);
+}
+
+// ---- Family #3: skewed / correlated statistics ----------------------------
+
+StatusOr<std::unique_ptr<WorkloadInstance>> MakeSkew(
+    const WorkloadFamilyOptions& options) {
+  const int kNumDims = 6;
+  const double kDimRows[kNumDims] = {2'000,   10'000,  50'000,
+                                     100'000, 250'000, 500'000};
+
+  auto inst = std::make_unique<WorkloadInstance>();
+  inst->family = "skew";
+  inst->options = options;
+  Catalog& cat = inst->db.catalog();
+  Rng rng(options.seed);
+
+  TableDef fact_def;
+  fact_def.name = "f";
+  fact_def.columns.push_back({"id", TypeId::kInt64});
+  for (int d = 1; d <= kNumDims; ++d) {
+    fact_def.columns.push_back({"fk_d" + std::to_string(d), TypeId::kInt64});
+  }
+  for (int p = 1; p <= 8; ++p) {
+    fact_def.columns.push_back({"s" + std::to_string(p), TypeId::kInt64});
+  }
+  PINUM_ASSIGN_OR_RETURN(const TableId fact, cat.AddTable(fact_def));
+  inst->tables.push_back(fact);
+
+  std::vector<TableId> dims(kNumDims);
+  for (int d = 0; d < kNumDims; ++d) {
+    TableDef def;
+    def.name = "d" + std::to_string(d + 1);
+    def.columns.push_back({"id", TypeId::kInt64});
+    for (int p = 1; p <= 4; ++p) {
+      def.columns.push_back({"t" + std::to_string(p), TypeId::kInt64});
+    }
+    PINUM_ASSIGN_OR_RETURN(dims[static_cast<size_t>(d)], cat.AddTable(def));
+    PINUM_RETURN_IF_ERROR(cat.AddForeignKey(
+        {fact, static_cast<ColumnIdx>(1 + d), dims[static_cast<size_t>(d)], 0}));
+    inst->tables.push_back(dims[static_cast<size_t>(d)]);
+  }
+
+  // Payload statistics cycle through (alpha, distinct-count, correlation)
+  // mixes: heavy skew with tiny domains next to mild skew with huge
+  // domains, heaps physically correlated, anti-correlated, and shuffled.
+  const double kAlpha[4] = {4.0, 2.5, 6.0, 1.5};
+  const double kDistinct[4] = {60, 1e6, 5'000, 2e8};
+  const double kCorr[4] = {0.95, -0.9, 0.0, 0.6};
+  int cycle = 0;
+  auto put_stats = [&](TableId t, double rows) {
+    const TableDef* def = cat.FindTable(t);
+    TableStats stats;
+    stats.row_count = rows;
+    stats.RecomputePages(*def);
+    stats.columns.resize(def->columns.size());
+    for (size_t c = 0; c < def->columns.size(); ++c) {
+      const std::string& name = def->columns[c].name;
+      if (name == "id") {
+        stats.columns[c] =
+            UniformCol(rows, 0, static_cast<Value>(rows) - 1, 1.0);
+      } else if (name.rfind("fk_", 0) == 0) {
+        const double parent =
+            kDimRows[name[4] - '1'] * std::max(options.scale, 1e-3);
+        // Alternate fully-keyed and 60%-keyed foreign keys so join
+        // selectivity estimates differ across dimensions.
+        const double distinct = (name[4] - '1') % 2 == 0 ? parent : 0.6 * parent;
+        stats.columns[c] = UniformCol(std::min(rows, distinct), 0,
+                                      static_cast<Value>(parent) - 1, 0.0);
+      } else {
+        const int k = cycle++ % 4;
+        stats.columns[c] = SkewedCol(&rng, kAlpha[k],
+                                     std::min(rows, kDistinct[k]), kCorr[k]);
+      }
+    }
+    inst->db.stats().Put(t, std::move(stats));
+  };
+  const double fact_rows = 8e6 * options.scale;
+  put_stats(fact, fact_rows);
+  for (int d = 0; d < kNumDims; ++d) {
+    put_stats(dims[static_cast<size_t>(d)],
+              kDimRows[d] * std::max(options.scale, 1e-3));
+  }
+
+  // Queries: fact + a random dimension subset; filter bounds are drawn
+  // from the filtered column's own histogram boundaries, so the same
+  // `<=` shape lands anywhere from ~0% to ~100% selectivity depending on
+  // where the skewed mass sits.
+  const int nq = options.num_queries == 0 ? 8 : options.num_queries;
+  for (int qi = 0; qi < nq; ++qi) {
+    Query q;
+    q.name = "skew_q" + std::to_string(qi + 1);
+    q.tables.push_back(fact);
+    const size_t ndim = 1 + rng.Index(4);
+    std::vector<size_t> picks = rng.SampleIndices(kNumDims, ndim);
+    for (size_t d : picks) {
+      const TableId dim = dims[d];
+      q.tables.push_back(dim);
+      q.joins.push_back({{fact, static_cast<ColumnIdx>(1 + d)}, {dim, 0}});
+    }
+
+    std::vector<ColumnRef> payload_pool;
+    for (TableId t : q.tables) {
+      const TableDef* def = cat.FindTable(t);
+      for (size_t c = 0; c < def->columns.size(); ++c) {
+        const char lead = def->columns[c].name[0];
+        if (lead == 's' || lead == 't') {
+          payload_pool.push_back({t, static_cast<ColumnIdx>(c)});
+        }
+      }
+    }
+    rng.Shuffle(&payload_pool);
+    const size_t num_select = std::min(payload_pool.size(), 2 + rng.Index(3));
+    q.select.assign(payload_pool.begin(),
+                    payload_pool.begin() + static_cast<long>(num_select));
+
+    for (int f = 0; f < 2; ++f) {
+      const ColumnRef col = payload_pool[rng.Index(payload_pool.size())];
+      const ColumnStats* cs = inst->db.stats().FindColumn(col);
+      const auto& bounds = cs->histogram.bounds();
+      q.filters.push_back(
+          {col, CompareOp::kLe, bounds[rng.Index(bounds.size())]});
+    }
+    if (!q.select.empty()) {
+      q.order_by.push_back({q.select[rng.Index(q.select.size())], true});
+    }
+    // A quarter of the mix aggregates (the star generator's group-by
+    // shape), exercising the grouping planner under skewed stats.
+    if (rng.Chance(0.25) && q.select.size() >= 2) {
+      q.group_by.push_back(q.select[0]);
+      q.aggregate = AggKind::kSum;
+      q.order_by.clear();
+      q.order_by.push_back({q.select[0], true});
+    }
+    inst->queries.push_back(std::move(q));
+  }
+  return Finish(std::move(inst), options.max_candidates);
+}
+
+// ---- Family #4: wide fact-to-fact joins with a churned mix ----------------
+
+StatusOr<std::unique_ptr<WorkloadInstance>> MakeFactPair(
+    const WorkloadFamilyOptions& options) {
+  // Default candidate cap: queries emit candidates in order, so capping
+  // the universe leaves later queries' order-by/join columns with no
+  // index that can serve them — their ordered-requirement plans become
+  // never-feasible and sealing prunes them (NumPlansPruned > 0), the
+  // case the uncapped star universe cannot produce.
+  const size_t max_candidates =
+      options.max_candidates == 0 ? 28 : options.max_candidates;
+
+  auto inst = std::make_unique<WorkloadInstance>();
+  inst->family = "fact_pair";
+  inst->options = options;
+  Catalog& cat = inst->db.catalog();
+  Rng rng(options.seed);
+
+  const double kSharedKeys = 200'000;
+  struct Wide {
+    TableId id = kInvalidTableId;
+    double rows = 0;
+    ColumnIdx key = -1;
+    ColumnIdx fk_dim = -1;
+    std::vector<ColumnIdx> payload;
+  };
+  auto add_wide = [&](const std::string& name, double rows, char payload_lead,
+                      const std::string& fk_name) -> StatusOr<Wide> {
+    TableDef def;
+    def.name = name;
+    def.columns.push_back({"id", TypeId::kInt64});
+    def.columns.push_back({"k", TypeId::kInt64});
+    def.columns.push_back({fk_name, TypeId::kInt64});
+    for (int p = 1; p <= 12; ++p) {
+      def.columns.push_back(
+          {std::string(1, payload_lead) + std::to_string(p), TypeId::kInt64});
+    }
+    Wide w;
+    w.rows = rows;
+    w.key = 1;
+    w.fk_dim = 2;
+    PINUM_ASSIGN_OR_RETURN(w.id, cat.AddTable(def));
+    for (ColumnIdx c = 3; c < static_cast<ColumnIdx>(def.columns.size()); ++c) {
+      w.payload.push_back(c);
+    }
+    return w;
+  };
+  PINUM_ASSIGN_OR_RETURN(
+      const Wide fa, add_wide("fa", 6e6 * options.scale, 'p', "fk_da"));
+  PINUM_ASSIGN_OR_RETURN(
+      const Wide fb, add_wide("fb", 3e6 * options.scale, 'q', "fk_db"));
+
+  auto add_dim = [&](const std::string& name, double rows,
+                     char payload_lead) -> StatusOr<std::pair<TableId, double>> {
+    TableDef def;
+    def.name = name;
+    def.columns.push_back({"id", TypeId::kInt64});
+    for (int p = 1; p <= 3; ++p) {
+      def.columns.push_back(
+          {std::string(1, payload_lead) + std::to_string(p), TypeId::kInt64});
+    }
+    PINUM_ASSIGN_OR_RETURN(const TableId id, cat.AddTable(def));
+    return std::make_pair(id, rows);
+  };
+  PINUM_ASSIGN_OR_RETURN(
+      const auto da, add_dim("da", std::max(1'000.0, 100e3 * options.scale), 'a'));
+  PINUM_ASSIGN_OR_RETURN(
+      const auto db, add_dim("db", std::max(1'000.0, 50e3 * options.scale), 'b'));
+  PINUM_RETURN_IF_ERROR(cat.AddForeignKey({fa.id, fa.fk_dim, da.first, 0}));
+  PINUM_RETURN_IF_ERROR(cat.AddForeignKey({fb.id, fb.fk_dim, db.first, 0}));
+  inst->tables = {fa.id, fb.id, da.first, db.first};
+
+  auto put_stats = [&](TableId t, double rows, double dim_rows) {
+    const TableDef* def = cat.FindTable(t);
+    TableStats stats;
+    stats.row_count = rows;
+    stats.RecomputePages(*def);
+    stats.columns.resize(def->columns.size());
+    for (size_t c = 0; c < def->columns.size(); ++c) {
+      const std::string& name = def->columns[c].name;
+      if (name == "id") {
+        stats.columns[c] =
+            UniformCol(rows, 0, static_cast<Value>(rows) - 1, 1.0);
+      } else if (name == "k") {
+        stats.columns[c] =
+            UniformCol(std::min(rows, kSharedKeys), 0,
+                       static_cast<Value>(kSharedKeys) - 1, 0.0);
+      } else if (name.rfind("fk_", 0) == 0) {
+        stats.columns[c] = UniformCol(std::min(rows, dim_rows), 0,
+                                      static_cast<Value>(dim_rows) - 1, 0.0);
+      } else {
+        stats.columns[c] =
+            UniformCol(std::min(rows, 1e9), 1, kPayloadMax, 0.0);
+      }
+    }
+    inst->db.stats().Put(t, std::move(stats));
+  };
+  put_stats(fa.id, fa.rows, da.second);
+  put_stats(fb.id, fb.rows, db.second);
+  put_stats(da.first, da.second, 1);
+  put_stats(db.first, db.second, 1);
+
+  // Base queries all join the two wide facts on the shared key — the
+  // join neither side's FK tree motivates — then optionally pull a
+  // dimension in from either side.
+  const int nq = options.num_queries == 0 ? 10 : options.num_queries;
+  std::vector<Query> base;
+  for (int qi = 0; qi < nq; ++qi) {
+    Query q;
+    q.name = "pair_q" + std::to_string(qi + 1);
+    q.tables = {fa.id, fb.id};
+    q.joins.push_back({{fa.id, fa.key}, {fb.id, fb.key}});
+    if (rng.Chance(0.6)) {
+      q.tables.push_back(da.first);
+      q.joins.push_back({{fa.id, fa.fk_dim}, {da.first, 0}});
+    }
+    if (rng.Chance(0.4)) {
+      q.tables.push_back(db.first);
+      q.joins.push_back({{fb.id, fb.fk_dim}, {db.first, 0}});
+    }
+
+    std::vector<ColumnRef> payload_pool;
+    for (TableId t : q.tables) {
+      const TableDef* def = cat.FindTable(t);
+      for (size_t c = 0; c < def->columns.size(); ++c) {
+        const char lead = def->columns[c].name[0];
+        if (lead == 'p' || lead == 'q' || lead == 'a' || lead == 'b') {
+          payload_pool.push_back({t, static_cast<ColumnIdx>(c)});
+        }
+      }
+    }
+    rng.Shuffle(&payload_pool);
+    const size_t num_select = std::min(payload_pool.size(), 3 + rng.Index(3));
+    q.select.assign(payload_pool.begin(),
+                    payload_pool.begin() + static_cast<long>(num_select));
+
+    for (int f = 0; f < 2; ++f) {
+      const Wide& w = rng.Chance(0.5) ? fa : fb;
+      q.filters.push_back({{w.id, w.payload[rng.Index(w.payload.size())]},
+                           CompareOp::kLe,
+                           UniformFilterBound(&rng, 0.005, 0.1)});
+    }
+    if (!q.select.empty() && rng.Chance(0.6)) {
+      q.order_by.push_back({q.select[rng.Index(q.select.size())], true});
+    }
+    base.push_back(std::move(q));
+  }
+  // Churned mix: a shuffled subset plus renamed clones (the drift
+  // module's query-churn half), so the served workload is not the raw
+  // generator output.
+  inst->queries = VaryQueryMix(base, options.seed ^ 0x9e3779b97f4a7c15ULL,
+                               std::max<size_t>(4, base.size() * 2 / 3));
+  return Finish(std::move(inst), max_candidates);
+}
+
+}  // namespace
+
+const std::vector<std::string>& WorkloadFamilyNames() {
+  static const std::vector<std::string> kNames = {"star", "chain", "skew",
+                                                  "fact_pair"};
+  return kNames;
+}
+
+StatusOr<std::unique_ptr<WorkloadInstance>> MakeWorkloadInstance(
+    const std::string& family, const WorkloadFamilyOptions& options) {
+  if (family == "star") return MakeStar(options);
+  if (family == "chain") return MakeChain(options);
+  if (family == "skew") return MakeSkew(options);
+  if (family == "fact_pair") return MakeFactPair(options);
+  return Status::InvalidArgument("unknown workload family: " + family);
+}
+
+}  // namespace pinum

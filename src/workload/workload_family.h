@@ -1,0 +1,93 @@
+// Workload families behind one generator interface: every family
+// produces the same artifact bundle — catalog + synthetic statistics +
+// seeded queries + candidate universe — so cache building, drift,
+// snapshots, serving, and the plan-stability corpus iterate over
+// families instead of being pinned to the star schema. Family #1 wraps
+// the paper's star-schema generator (src/workload/star_schema.h); the
+// others cover the shapes the star workload cannot: ad-hoc many-join
+// chains (TPC-H/JOB-like), skewed/correlated statistics, and wide
+// fact-to-fact joins with a churned query mix. Knob reference:
+// docs/WORKLOADS.md.
+#ifndef PINUM_WORKLOAD_WORKLOAD_FAMILY_H_
+#define PINUM_WORKLOAD_WORKLOAD_FAMILY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/database.h"
+#include "whatif/candidate_set.h"
+
+namespace pinum {
+
+/// Cross-family generator knobs. Every family is a pure function of its
+/// options: equal (family, options) produce byte-identical instances —
+/// same catalog ids, statistics, query list, and candidate universe —
+/// on every platform (generation draws only from common/rng.h). That
+/// seeding contract is what makes the golden corpus
+/// (src/workload/plan_corpus.h) and the family-parameterized property
+/// suites reproducible from a printed (family, seed) pair.
+struct WorkloadFamilyOptions {
+  uint64_t seed = 42;
+  /// Multiplies all logical row counts (statistics are synthetic; no
+  /// data is materialized).
+  double scale = 1.0;
+  /// Queries to generate; 0 = the family's default count.
+  int num_queries = 0;
+  /// Cap on the generated candidate universe (CandidateOptions::
+  /// max_candidates); 0 = the family's default. Because candidates are
+  /// emitted in query order, a cap below the full emission starves later
+  /// queries' order/join columns of any index that could serve them —
+  /// the configuration under which sealing's never-feasible rule
+  /// actually prunes plans (the star workload's uncapped universe
+  /// prunes 0%).
+  size_t max_candidates = 0;
+};
+
+/// One generated workload: everything a WorkloadCacheBuilder binding
+/// needs, with stable addresses (the builder captures pointers into
+/// `db` and `set`, so instances are handed out behind unique_ptr).
+/// `db.stats()` and `set` are deliberately mutable — drift
+/// (src/workload/drift.h) re-ANALYZEs and appends in place.
+struct WorkloadInstance {
+  std::string family;
+  WorkloadFamilyOptions options;
+  Database db;
+  std::vector<Query> queries;
+  CandidateSet set;
+  /// All table ids, primary (largest/fact) table first.
+  std::vector<TableId> tables;
+
+  TableId primary_table() const { return tables.front(); }
+  const Catalog& catalog() const { return db.catalog(); }
+  const StatsCatalog& stats() const { return db.stats(); }
+  StatsCatalog& mutable_stats() { return db.stats(); }
+};
+
+/// Registered family names, in canonical (corpus/test iteration) order:
+/// {"star", "chain", "skew", "fact_pair"}.
+const std::vector<std::string>& WorkloadFamilyNames();
+
+/// Generates one workload instance. Unknown family names return
+/// kInvalidArgument.
+///
+///  - "star":      the paper's snowflake benchmark (Section VI-A),
+///                 default 6 queries (the 5-way-capped fixture shape).
+///  - "chain":     linear FK chain with side branches, queries joining
+///                 contiguous subpaths — the ad-hoc many-join shape.
+///  - "skew":      star shape whose payload statistics are skewed
+///                 equi-depth histograms with mixed correlation and
+///                 tiny-vs-huge distinct counts.
+///  - "fact_pair": two wide fact tables joined on a shared key plus
+///                 dimensions, query mix churned through VaryQueryMix;
+///                 default candidate cap leaves some ordered
+///                 requirements unservable (nonzero seal pruning).
+StatusOr<std::unique_ptr<WorkloadInstance>> MakeWorkloadInstance(
+    const std::string& family, const WorkloadFamilyOptions& options = {});
+
+}  // namespace pinum
+
+#endif  // PINUM_WORKLOAD_WORKLOAD_FAMILY_H_

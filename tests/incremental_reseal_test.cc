@@ -409,6 +409,35 @@ TEST_F(IncrementalResealTest, UnknownNameIsInvalidArgument) {
   EXPECT_EQ(parallel_st.code(), StatusCode::kInvalidArgument);
 }
 
+// Every workload family (src/workload/workload_family.h) upholds the
+// same differential contract: small drift, half-workload drift, and
+// full drift with universe growth, each bit-identical to a cold build.
+// The trace line prints (family, seed) so a failure reproduces alone.
+class FamilyResealTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyResealTest, DifferentialResealBitIdentical) {
+  auto fix = MakeFamilyFixture(GetParam());
+  ASSERT_NE(fix, nullptr);
+  SCOPED_TRACE(fix->trace());
+  WorkloadCacheOptions opts;
+  const size_t n = fix->queries().size();
+  RunDifferentialCase(fix->catalog(), fix->set, fix->stats(),
+                      fix->queries(), 1, 71, opts);
+  RunDifferentialCase(fix->catalog(), fix->set, fix->stats(),
+                      fix->queries(), n / 2, 73, opts);
+  DriftOptions dopts;
+  dopts.add_candidates = 2;
+  RunDifferentialCase(fix->catalog(), fix->set, fix->stats(),
+                      fix->queries(), n, 79, opts, dopts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadFamilies, FamilyResealTest,
+    ::testing::ValuesIn(WorkloadFamilyNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
 TEST(IncrementalResealMiniTest, ClassicModeDifferential) {
   // The classic (one-call-per-IOC) builder exercises the store's
   // per-candidate and fallback invalidation tiers; MiniStar keeps the

@@ -22,6 +22,98 @@
 namespace pinum {
 namespace {
 
+/// Sealed-vs-build bit identity for one built workload: every sealed
+/// cache must price every configuration — empty, atomic, random
+/// subsets, duplicate ids, out-of-universe ids, the invalid sentinel —
+/// bitwise equal to the InumCache it was sealed from. Free function so
+/// both the shared-star suite and the family-parameterized suite drive
+/// it; callers SCOPED_TRACE their (family, seed).
+void ExpectSealedBitIdentical(const FamilyFixture& fix,
+                              const WorkloadCacheResult& built,
+                              uint64_t seed) {
+  const std::vector<Query>& queries = fix.queries();
+  Rng rng(seed);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const InumCache& cache = built.caches[qi];
+    const SealedCache& sealed = built.sealed[qi];
+    // Empty configuration.
+    EXPECT_EQ(sealed.Cost({}), cache.Cost({})) << "query " << qi;
+    for (int trial = 0; trial < 30; ++trial) {
+      IndexConfig config =
+          trial % 2 == 0
+              ? RandomAtomicConfig(queries[qi], fix.set, &rng)
+              : RandomSubsetConfig(fix.set, &rng, rng.NextDouble() * 0.2);
+      // Duplicate an id.
+      if (!config.empty() && rng.Chance(0.5)) {
+        config.push_back(config[rng.Index(config.size())]);
+      }
+      // Name ids the per-query access-cost table has no entry for:
+      // valid universe ids on unrelated tables (atomic sampling already
+      // restricts to the query's tables only on even trials), ids past
+      // the universe, and the invalid sentinel.
+      if (rng.Chance(0.5)) {
+        config.push_back(fix.set.NumIndexIds() + 100);
+      }
+      if (rng.Chance(0.5)) config.push_back(kInvalidIndexId);
+      EXPECT_EQ(sealed.Cost(config), cache.Cost(config))
+          << "query " << qi << " trial " << trial << " config size "
+          << config.size();
+    }
+  }
+}
+
+/// The delta-costing property: with any base pinned into a context,
+/// CostWithExtra(ctx, id) must equal Cost(base + {id}) bitwise for
+/// every id — candidates on the query's tables (posting-bearing),
+/// candidates on unrelated tables (empty postings), ids past the
+/// universe, the invalid sentinel, and ids already in the base — and
+/// the context must come back restored after every overlay. Bases
+/// cover the same corners the Cost() suite pins: empty, duplicated
+/// ids, out-of-universe ids, and configurations under which some
+/// terms stay infeasible.
+void ExpectDeltaBitIdentical(const FamilyFixture& fix,
+                             const WorkloadCacheResult& built,
+                             uint64_t seed) {
+  const std::vector<Query>& queries = fix.queries();
+  const IndexId universe = fix.set.NumIndexIds();
+  Rng rng(seed);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const SealedCache& sealed = built.sealed[qi];
+    SealedCache::CostContext ctx;
+    for (int trial = 0; trial < 6; ++trial) {
+      IndexConfig base;
+      if (trial > 0) {
+        base = trial % 2 == 1
+                   ? RandomAtomicConfig(queries[qi], fix.set, &rng)
+                   : RandomSubsetConfig(fix.set, &rng, rng.NextDouble() * 0.15);
+        if (!base.empty() && rng.Chance(0.5)) {
+          base.push_back(base[rng.Index(base.size())]);
+        }
+        if (rng.Chance(0.3)) base.push_back(universe + 50);
+        if (rng.Chance(0.3)) base.push_back(kInvalidIndexId);
+      }
+      sealed.PrepareContext(base, &ctx);
+      EXPECT_EQ(ctx.base_cost(), sealed.Cost(base))
+          << "query " << qi << " trial " << trial;
+
+      std::vector<IndexId> extras = fix.set.candidate_ids;
+      extras.push_back(universe + 3);
+      extras.push_back(kInvalidIndexId);
+      if (!base.empty()) extras.push_back(base[0]);
+      for (IndexId extra : extras) {
+        IndexConfig full = base;
+        full.push_back(extra);
+        EXPECT_EQ(sealed.CostWithExtra(&ctx, extra), sealed.Cost(full))
+            << "query " << qi << " trial " << trial << " extra " << extra;
+      }
+      // The overlays must have restored the pinned values exactly.
+      EXPECT_EQ(sealed.CostWithExtra(&ctx, kInvalidIndexId),
+                sealed.Cost(base))
+          << "query " << qi << " trial " << trial;
+    }
+  }
+}
+
 /// The shared star fixture (tests/test_util.h — the paper's workload
 /// capped at 5-way joins: the classic fixture build is one optimizer
 /// call per IOC and the 6/7-way queries alone have 384 + 960 IOCs,
@@ -75,86 +167,12 @@ class SealedCacheTest : public ::testing::Test {
 
   static void ExpectIdentical(const WorkloadCacheResult& built,
                               uint64_t seed) {
-    const std::vector<Query>& queries = fix_->star->queries();
-    Rng rng(seed);
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      const InumCache& cache = built.caches[qi];
-      const SealedCache& sealed = built.sealed[qi];
-      // Empty configuration.
-      EXPECT_EQ(sealed.Cost({}), cache.Cost({})) << "query " << qi;
-      for (int trial = 0; trial < 30; ++trial) {
-        IndexConfig config =
-            trial % 2 == 0
-                ? RandomAtomicConfig(queries[qi], fix_->star->set, &rng)
-                : RandomSubset(&rng, rng.NextDouble() * 0.2);
-        // Duplicate an id.
-        if (!config.empty() && rng.Chance(0.5)) {
-          config.push_back(config[rng.Index(config.size())]);
-        }
-        // Name ids the per-query access-cost table has no entry for:
-        // valid universe ids on unrelated tables (atomic sampling already
-        // restricts to the query's tables only on even trials), ids past
-        // the universe, and the invalid sentinel.
-        if (rng.Chance(0.5)) {
-          config.push_back(fix_->star->set.NumIndexIds() + 100);
-        }
-        if (rng.Chance(0.5)) config.push_back(kInvalidIndexId);
-        EXPECT_EQ(sealed.Cost(config), cache.Cost(config))
-            << "query " << qi << " trial " << trial << " config size "
-            << config.size();
-      }
-    }
+    ExpectSealedBitIdentical(*fix_->star, built, seed);
   }
 
-  /// The delta-costing property: with any base pinned into a context,
-  /// CostWithExtra(ctx, id) must equal Cost(base + {id}) bitwise for
-  /// every id — candidates on the query's tables (posting-bearing),
-  /// candidates on unrelated tables (empty postings), ids past the
-  /// universe, the invalid sentinel, and ids already in the base — and
-  /// the context must come back restored after every overlay. Bases
-  /// cover the same corners the Cost() suite pins: empty, duplicated
-  /// ids, out-of-universe ids, and configurations under which some
-  /// terms stay infeasible.
   static void ExpectDeltaIdentical(const WorkloadCacheResult& built,
                                    uint64_t seed) {
-    const std::vector<Query>& queries = fix_->star->queries();
-    const IndexId universe = fix_->star->set.NumIndexIds();
-    Rng rng(seed);
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      const SealedCache& sealed = built.sealed[qi];
-      SealedCache::CostContext ctx;
-      for (int trial = 0; trial < 6; ++trial) {
-        IndexConfig base;
-        if (trial > 0) {
-          base = trial % 2 == 1
-                     ? RandomAtomicConfig(queries[qi], fix_->star->set, &rng)
-                     : RandomSubset(&rng, rng.NextDouble() * 0.15);
-          if (!base.empty() && rng.Chance(0.5)) {
-            base.push_back(base[rng.Index(base.size())]);
-          }
-          if (rng.Chance(0.3)) base.push_back(universe + 50);
-          if (rng.Chance(0.3)) base.push_back(kInvalidIndexId);
-        }
-        sealed.PrepareContext(base, &ctx);
-        EXPECT_EQ(ctx.base_cost(), sealed.Cost(base))
-            << "query " << qi << " trial " << trial;
-
-        std::vector<IndexId> extras = fix_->star->set.candidate_ids;
-        extras.push_back(universe + 3);
-        extras.push_back(kInvalidIndexId);
-        if (!base.empty()) extras.push_back(base[0]);
-        for (IndexId extra : extras) {
-          IndexConfig full = base;
-          full.push_back(extra);
-          EXPECT_EQ(sealed.CostWithExtra(&ctx, extra), sealed.Cost(full))
-              << "query " << qi << " trial " << trial << " extra " << extra;
-        }
-        // The overlays must have restored the pinned values exactly.
-        EXPECT_EQ(sealed.CostWithExtra(&ctx, kInvalidIndexId),
-                  sealed.Cost(base))
-            << "query " << qi << " trial " << trial;
-      }
-    }
+    ExpectDeltaBitIdentical(*fix_->star, built, seed);
   }
 };
 
@@ -269,9 +287,12 @@ TEST_F(SealedCacheTest, SealNeverGrowsThePlanSet) {
 TEST_F(SealedCacheTest, BuilderCachesAreAlreadyIrredundant) {
   // Both builders eliminate the paper's Section IV redundancy at build
   // time (export-call dominance pruning, requirement relaxation, key
-  // dedup), so the seal's exact pruning — which fires on hand-built
-  // caches, see the unit tests — must find nothing left here. If this
-  // ever starts failing, a builder has begun exporting removable plans.
+  // dedup), so on the star workload — whose uncapped candidate universe
+  // serves every ordered requirement — the seal's exact pruning must
+  // find nothing left. If this ever starts failing, a builder has begun
+  // exporting removable plans. (The never-feasible rule is universe-
+  // dependent, not builder redundancy: the chain and fact_pair families
+  // below prune > 0 without contradicting this.)
   for (const WorkloadCacheResult* built : {&fix_->pinum, &fix_->classic}) {
     for (const SealedCache& sealed : built->sealed) {
       EXPECT_EQ(sealed.NumPlansPruned(), 0u);
@@ -316,7 +337,7 @@ TEST_F(SealedCacheTest, GrownUniverseIdsPriceAtBaseOnOldSeal) {
   // access costs — so un-resealed queries keep serving bit-identically.
   CandidateSet grown = fix_->star->set;
   const TableDef* fact =
-      grown.universe.FindTable(fix_->star->workload.fact_table());
+      grown.universe.FindTable(fix_->star->primary_table());
   ASSERT_NE(fact, nullptr);
   auto added = grown.Append(
       {MakeWhatIfIndex("growth_a", *fact, {0}, 1000),
@@ -363,6 +384,61 @@ TEST_F(SealedCacheTest, GrownUniverseIdsPriceAtBaseOnOldSeal) {
     }
   }
 }
+
+/// The same bit-identity properties, over every registered workload
+/// family (src/workload/workload_family.h): the sealed serve-time form
+/// must answer like its InumCache on many-join chains, skewed stats,
+/// and pruning-heavy capped universes exactly as it does on the star
+/// schema. Each case builds its own instance (fast: family builds are
+/// sub-second even under sanitizers) and SCOPED_TRACEs its (family,
+/// seed) so a failure reproduces from the printed pair.
+class FamilySealedCacheTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilySealedCacheTest, SealedAndDeltaCostsBitIdentical) {
+  auto fix = MakeFamilyFixture(GetParam());
+  ASSERT_NE(fix, nullptr);
+  SCOPED_TRACE(fix->trace());
+  auto built =
+      WorkloadCacheBuilder(&fix->catalog(), &fix->set, &fix->stats(), {})
+          .BuildAll(fix->queries());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ExpectSealedBitIdentical(*fix, *built, 211);
+  ExpectDeltaBitIdentical(*fix, *built, 223);
+}
+
+TEST_P(FamilySealedCacheTest, SealTimePruningFiresWherePinned) {
+  // The ISSUE's pruning coverage: the chain family's merge-order
+  // requirements and the fact_pair family's capped candidate universe
+  // leave some ordered requirements with no serving index, so sealing
+  // must discard plans (never-feasible rule) — pruning is NOT a no-op
+  // outside the star workload — while the bit-identity test above holds
+  // on the very same pruned caches. Star (uncapped) must stay at zero,
+  // matching BuilderCachesAreAlreadyIrredundant.
+  auto fix = MakeFamilyFixture(GetParam());
+  ASSERT_NE(fix, nullptr);
+  SCOPED_TRACE(fix->trace());
+  auto built =
+      WorkloadCacheBuilder(&fix->catalog(), &fix->set, &fix->stats(), {})
+          .BuildAll(fix->queries());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  size_t pruned = 0;
+  for (const SealedCache& sealed : built->sealed) {
+    pruned += sealed.NumPlansPruned();
+  }
+  const std::string& family = GetParam();
+  if (family == "chain" || family == "fact_pair") {
+    EXPECT_GT(pruned, 0u);
+  } else if (family == "star") {
+    EXPECT_EQ(pruned, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadFamilies, FamilySealedCacheTest,
+    ::testing::ValuesIn(WorkloadFamilyNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
 
 TEST(SealedCacheUnitTest, PrunesHandCraftedDominatedPlan) {
   // Two plans, identical single unordered slot, the second with a larger

@@ -409,7 +409,7 @@ TEST_F(SnapshotMmapTest, LoadSnapshotMappedStalenessAndResealAfterDrift) {
   const std::vector<Query>& queries = fix_->star->queries();
   CandidateSet set = fix_->star->set;
   StatsCatalog stats = fix_->star->stats();
-  const TableId victim = fix_->star->workload.tables().back();
+  const TableId victim = fix_->star->tables().back();
   DriftTableStats(fix_->star->catalog(), victim, 2.0, &stats);
 
   WorkloadCacheBuilder drifted_builder(&fix_->star->catalog(), &set, &stats);
@@ -471,7 +471,7 @@ TEST_F(SnapshotMmapTest, ServingEngineStartsFromMappedGenerationZero) {
   // its original bits.
   auto pinned = engine.Pin();
   const double pre_drift = engine.Cost(probes[0]).cost;
-  const TableId victim = fix_->star->workload.tables().back();
+  const TableId victim = fix_->star->tables().back();
   engine.WithWorld([&] {
     DriftTableStats(fix_->star->catalog(), victim, 2.0, &stats);
   });

@@ -60,7 +60,6 @@ class SnapshotTest : public ::testing::Test {
     WorkloadCacheResult built;
     std::string path;
 
-    const StarSchemaWorkload& workload() const { return star->workload; }
     const CandidateSet& set() const { return star->set; }
   };
   static Fixture* fix_;
@@ -275,7 +274,7 @@ TEST_F(SnapshotTest, StatsDriftLoadsAndReportsStaleQueries) {
   // table (the set RebuildQueries would be handed).
   StatsCatalog drifted = fix_->star->stats();
   // The last dimension table: drifting fact would stale everything.
-  const TableId victim = fix_->star->workload.tables().back();
+  const TableId victim = fix_->star->tables().back();
   DriftTableStats(fix_->star->catalog(), victim, 2.0, &drifted);
 
   WorkloadCacheBuilder drifted_builder(&fix_->star->catalog(),
@@ -304,7 +303,7 @@ TEST_F(SnapshotTest, GrownUniverseLoadsAsPrefixAndStalesTouchedQueries) {
   // has one more index to see).
   CandidateSet grown = fix_->star->set;
   const TableDef* fact =
-      grown.universe.FindTable(fix_->star->workload.fact_table());
+      grown.universe.FindTable(fix_->star->primary_table());
   ASSERT_NE(fact, nullptr);
   auto added = grown.Append(
       {MakeWhatIfIndex("snapshot_test_extra", *fact, {0}, 1000)});
@@ -323,7 +322,7 @@ TEST_F(SnapshotTest, GrownUniverseLoadsAsPrefixAndStalesTouchedQueries) {
   std::vector<std::string> got;
   for (size_t i : stale) got.push_back(queries[i].name);
   EXPECT_EQ(got, QueriesTouchingTables(
-                     queries, {fix_->star->workload.fact_table()}));
+                     queries, {fix_->star->primary_table()}));
   // Restored caches for fresh queries keep serving: sampled costs agree
   // with the fixture build (the new id prices at base on both sides).
   Rng rng(401);
@@ -459,7 +458,7 @@ TEST_F(SnapshotTest, DriftBetweenBuildAndSaveStillReadsAsStale) {
   auto built = builder.BuildAll(queries);
   ASSERT_TRUE(built.ok());
 
-  const TableId victim = fix_->star->workload.tables().back();
+  const TableId victim = fix_->star->tables().back();
   DriftTableStats(fix_->star->catalog(), victim, 2.0, &stats);
 
   const std::string path = TempPath("late_drift.snap");
@@ -489,7 +488,7 @@ TEST_F(SnapshotTest, GrowthReEncodesWidenedRecordsOnSave) {
   ASSERT_TRUE(builder.SaveSnapshot(path, *built, queries).ok());
 
   const TableDef* fact =
-      set.universe.FindTable(fix_->star->workload.fact_table());
+      set.universe.FindTable(fix_->star->primary_table());
   ASSERT_TRUE(
       set.Append({MakeWhatIfIndex("growth_patch_extra", *fact, {0}, 1000)})
           .ok());
@@ -574,6 +573,62 @@ TEST_F(SnapshotTest, IndexSizeDriftIsFailedPrecondition) {
   EXPECT_NE(loaded.status().message().find("candidate"), std::string::npos)
       << loaded.status().ToString();
 }
+
+// Every workload family (src/workload/workload_family.h) round-trips
+// through the snapshot codec: save→load hands back caches answering
+// sampled cost questions — pruning counters included — and the greedy
+// advisor bit-identically to the sealed originals. The trace line
+// prints (family, seed) so a failure reproduces alone.
+class FamilySnapshotTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilySnapshotTest, RoundTripAndAdvisorBitIdentical) {
+  auto fix = MakeFamilyFixture(GetParam());
+  ASSERT_NE(fix, nullptr);
+  SCOPED_TRACE(fix->trace());
+  WorkloadCacheBuilder builder(&fix->catalog(), &fix->set, &fix->stats());
+  auto built = builder.BuildAll(fix->queries());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const std::string path = ::testing::TempDir() + std::to_string(getpid()) +
+                           "_family_" + GetParam() + ".snap";
+  ASSERT_TRUE(builder.SaveSnapshot(path, *built, fix->queries()).ok());
+  auto loaded = builder.LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->sealed.size(), fix->queries().size());
+  EXPECT_TRUE(builder.StaleQueries(*loaded, fix->queries()).empty());
+
+  Rng rng(601);
+  for (size_t qi = 0; qi < fix->queries().size(); ++qi) {
+    const SealedCache& original = built->sealed[qi];
+    const SealedCache& restored = loaded->sealed[qi];
+    EXPECT_EQ(restored.NumPlans(), original.NumPlans());
+    EXPECT_EQ(restored.NumPlansPruned(), original.NumPlansPruned());
+    EXPECT_EQ(restored.NumTerms(), original.NumTerms());
+    EXPECT_EQ(restored.NumPostings(), original.NumPostings());
+    EXPECT_EQ(restored.Cost({}), original.Cost({})) << "query " << qi;
+    for (int trial = 0; trial < 12; ++trial) {
+      IndexConfig config =
+          RandomSubsetConfig(fix->set, &rng, rng.NextDouble() * 0.3);
+      if (rng.Chance(0.3)) config.push_back(fix->set.NumIndexIds() + 5);
+      EXPECT_EQ(restored.Cost(config), original.Cost(config))
+          << "query " << qi << " trial " << trial;
+    }
+  }
+
+  AdvisorOptions opts;
+  const AdvisorResult fresh = RunGreedyAdvisor(built->sealed, fix->set, opts);
+  const AdvisorResult from_snapshot =
+      RunGreedyAdvisor(loaded->sealed, fix->set, opts);
+  ExpectSameAdvisorResult(fresh, from_snapshot);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadFamilies, FamilySnapshotTest,
+    ::testing::ValuesIn(WorkloadFamilyNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
 
 TEST(SnapshotUnitTest, EmptyWorkloadRoundTrips) {
   // Zero queries is a valid (if degenerate) snapshot: the framing,

@@ -24,6 +24,7 @@
 #include "whatif/candidate_set.h"
 #include "workload/cache_manager.h"
 #include "workload/star_schema.h"
+#include "workload/workload_family.h"
 
 namespace pinum {
 
@@ -67,34 +68,52 @@ inline IndexConfig RandomAtomicConfig(const Query& q, const CandidateSet& set,
   return config;
 }
 
-/// The paper's star-schema workload capped at 5-way joins (6/7-way
-/// queries add minutes under sanitizers but no new slot shapes) with
-/// its generated candidate universe — the expensive setup previously
-/// hand-rolled by snapshot_test, sealed_cache_test, and now shared with
-/// the incremental-reseal suite. Returns nullptr on failure; callers
-/// ASSERT at SetUpTestSuite time.
-struct StarFixture {
-  StarSchemaWorkload workload;
-  CandidateSet set;
+/// Family-parameterized workload fixture: one generated WorkloadInstance
+/// (src/workload/workload_family.h) behind the accessor surface the
+/// serving suites share. The default "star" family reproduces the old
+/// hand-rolled fixture exactly — the paper's star schema capped at 5-way
+/// joins (6/7-way queries add minutes under sanitizers but no new slot
+/// shapes) with its generated candidate universe. Property suites
+/// parameterized over WorkloadFamilyNames() construct one per family and
+/// SCOPED_TRACE `trace()` so failures print their (family, seed).
+struct FamilyFixture {
+  explicit FamilyFixture(std::unique_ptr<WorkloadInstance> inst)
+      : instance(std::move(inst)), set(instance->set) {}
 
-  const std::vector<Query>& queries() const { return workload.queries(); }
-  const Catalog& catalog() const { return workload.db().catalog(); }
-  const StatsCatalog& stats() const { return workload.db().stats(); }
+  std::unique_ptr<WorkloadInstance> instance;
+  /// The candidate universe, aliasing instance->set (drift appends to it
+  /// through either name).
+  CandidateSet& set;
+
+  const std::vector<Query>& queries() const { return instance->queries; }
+  const Catalog& catalog() const { return instance->catalog(); }
+  const StatsCatalog& stats() const { return instance->stats(); }
+  const std::vector<TableId>& tables() const { return instance->tables; }
+  TableId primary_table() const { return instance->primary_table(); }
+  const std::string& family() const { return instance->family; }
+
+  /// Failure-reproduction tag: "family=chain seed=42".
+  std::string trace() const {
+    return "family=" + instance->family +
+           " seed=" + std::to_string(instance->options.seed);
+  }
 };
 
-inline std::unique_ptr<StarFixture> MakeStarFixture(
-    std::vector<int> query_sizes = {2, 3, 3, 4, 4, 5}) {
-  StarSchemaSpec spec;
-  spec.query_sizes = std::move(query_sizes);
-  auto w = StarSchemaWorkload::Create(spec);
-  if (!w.ok()) return nullptr;
-  CandidateOptions copt;
-  auto cands = GenerateCandidates(w->queries(), w->db().catalog(),
-                                  w->db().stats(), copt);
-  auto set = MakeCandidateSet(w->db().catalog(), cands);
-  if (!set.ok()) return nullptr;
-  return std::unique_ptr<StarFixture>(
-      new StarFixture{std::move(*w), std::move(*set)});
+/// Returns nullptr on failure; callers ASSERT at SetUpTestSuite time.
+inline std::unique_ptr<FamilyFixture> MakeFamilyFixture(
+    const std::string& family, const WorkloadFamilyOptions& options = {}) {
+  auto inst = MakeWorkloadInstance(family, options);
+  if (!inst.ok()) return nullptr;
+  return std::make_unique<FamilyFixture>(std::move(*inst));
+}
+
+/// The star-family specialization the pre-family suites were written
+/// against (identical catalog, queries, and universe to the old
+/// StarFixture).
+using StarFixture = FamilyFixture;
+
+inline std::unique_ptr<StarFixture> MakeStarFixture() {
+  return MakeFamilyFixture("star");
 }
 
 /// Uniformly random subset of `set`'s candidates (any number of indexes

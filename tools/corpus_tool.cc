@@ -1,0 +1,127 @@
+// Golden plan-stability corpus maintenance (see docs/WORKLOADS.md and
+// src/workload/plan_corpus.h).
+//
+//   corpus_tool --update [--dir tests/corpus]
+//       Regenerates every golden file in the default grid (all workload
+//       families x seeds {1,2}). Run this — and review the diff — when a
+//       cost-model/advisor change intentionally moves plans.
+//
+//   corpus_tool --diff [--dir tests/corpus]
+//       Rebuilds each corpus in memory and diffs it against the checked-
+//       in golden file, printing exactly which (workload, query, plan)
+//       entries changed. Exit 1 on any delta or missing file — the CI
+//       corpus-diff job's failure signal.
+//
+//   corpus_tool --print --family <name> [--seed N]
+//       Dumps one corpus text to stdout.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workload/plan_corpus.h"
+#include "workload/workload_family.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return out.good();
+}
+
+int Usage() {
+  std::cerr << "usage: corpus_tool --update|--diff [--dir DIR]\n"
+            << "       corpus_tool --print --family NAME [--seed N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode, dir = "tests/corpus", family;
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--update" || arg == "--diff" || arg == "--print") {
+      mode = arg;
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  if (mode.empty()) return Usage();
+
+  if (mode == "--print") {
+    if (family.empty()) return Usage();
+    pinum::CorpusSpec spec;
+    spec.family = family;
+    spec.seed = seed;
+    auto text = pinum::BuildCorpusText(spec);
+    if (!text.ok()) {
+      std::cerr << "build failed: " << text.status().ToString() << "\n";
+      return 2;
+    }
+    std::cout << *text;
+    return 0;
+  }
+
+  int failures = 0;
+  for (const pinum::CorpusSpec& spec : pinum::DefaultCorpusSpecs()) {
+    const std::string path = dir + "/" + pinum::CorpusFileName(spec);
+    auto text = pinum::BuildCorpusText(spec);
+    if (!text.ok()) {
+      std::cerr << path << ": build failed: " << text.status().ToString()
+                << "\n";
+      ++failures;
+      continue;
+    }
+    if (mode == "--update") {
+      if (!WriteFile(path, *text)) {
+        std::cerr << path << ": write failed\n";
+        ++failures;
+      } else {
+        std::cout << "wrote " << path << "\n";
+      }
+      continue;
+    }
+    std::string golden;
+    if (!ReadFile(path, &golden)) {
+      std::cerr << path << ": missing golden file (run corpus_tool --update "
+                << "and commit the result)\n";
+      ++failures;
+      continue;
+    }
+    const auto deltas = pinum::DiffCorpusText(golden, *text);
+    if (deltas.empty()) {
+      std::cout << path << ": OK\n";
+    } else {
+      std::cout << path << ": " << deltas.size() << " entries changed\n"
+                << pinum::FormatDeltas(deltas);
+      ++failures;
+    }
+  }
+  if (failures > 0 && mode == "--diff") {
+    std::cerr << "\ncorpus drift detected: if the plan/cost change is "
+              << "intentional, regenerate with corpus_tool --update and "
+              << "commit the reviewed diff.\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
