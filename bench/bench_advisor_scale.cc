@@ -56,6 +56,9 @@ bool SameResult(const AdvisorResult& a, const AdvisorResult& b,
     return fail("total sizes differ");
   }
   if (a.evaluations != b.evaluations) return fail("evaluation counts differ");
+  // full_evaluations is deliberately NOT compared: it counts full-path
+  // resolutions, which is exactly what differs between the two paths
+  // (src/advisor/greedy_advisor.h).
   return true;
 }
 

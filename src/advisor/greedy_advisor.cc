@@ -1,6 +1,7 @@
 #include "advisor/greedy_advisor.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/simd.h"
 #include "whatif/whatif_index.h"
@@ -29,6 +30,13 @@ std::vector<double> WorkloadCostEvaluator::BatchCost(
 const std::vector<double>& WorkloadCostEvaluator::BatchCostWithExtras(
     const IndexConfig& base, const std::vector<IndexId>& extras,
     EvalScratch* scratch) const {
+  // A scratch's contexts index one cache vector's seals; serving them to
+  // a different vector would return the wrong workload's costs. Identity
+  // is recorded on first use and asserted (debug builds) ever after.
+  assert((scratch->bound_caches == nullptr ||
+          scratch->bound_caches == caches_) &&
+         "EvalScratch reused with a different evaluator's cache vector");
+  scratch->bound_caches = caches_;
   const size_t num_queries = caches_->size();
   const size_t num_extras = extras.size();
   if (scratch->per_query.size() != num_queries) {
@@ -55,6 +63,13 @@ const std::vector<double>& WorkloadCostEvaluator::BatchCostWithExtras(
   // that (advisor-impossible) shape falls back to the per-extra sweep.
   IndexId max_id = -1;
   for (const IndexId id : extras) max_id = std::max(max_id, id);
+  // When every extra is negative (all out of universe) — or there are no
+  // extras at all — max_id stays -1 and there is nothing to overlay:
+  // every row is exactly Cost(base). That case is handled explicitly
+  // below (rows filled with the pinned base cost, no sweep) instead of
+  // leaning on the inverted sweep walking a zero-size map. Contexts are
+  // still pinned/extended so the next real sweep reuses them warm.
+  const bool empty_sweep = max_id < 0;
   const size_t map_size = static_cast<size_t>(max_id + 1);
   scratch->position_of_id.assign(map_size, SealedCache::kNotSwept);
   bool duplicate_ids = false;
@@ -88,7 +103,9 @@ const std::vector<double>& WorkloadCostEvaluator::BatchCostWithExtras(
     }
     double* row = scratch->per_query_costs.data() +
                   static_cast<size_t>(q) * num_extras;
-    if (duplicate_ids) {
+    if (empty_sweep) {
+      simd::Fill(row, ctx.base_cost(), num_extras);
+    } else if (duplicate_ids) {
       cache.CostExtrasInto(&ctx, extras.data(), num_extras, row);
     } else {
       simd::Fill(row, ctx.base_cost(), num_extras);
@@ -117,35 +134,46 @@ const std::vector<double>& WorkloadCostEvaluator::BatchCostWithExtras(
   return scratch->totals;
 }
 
-AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
-                               const CandidateSet& candidates,
-                               const AdvisorOptions& options) {
-  AdvisorResult result;
-  IndexConfig chosen;
-  result.workload_cost_before = evaluator.Cost(chosen);
-  ++result.evaluations;
-  double current_cost = result.workload_cost_before;
-  int64_t used_bytes = 0;
-
-  // The working set: ids resolvable in the universe, with their sizes
-  // computed once and their original candidate order remembered. Ids the
-  // universe cannot resolve are dropped here instead of being re-probed
-  // (and re-skipped) every iteration.
-  struct Cand {
-    IndexId id;
-    int64_t size_bytes;
-    uint32_t order;  // position in candidates.candidate_ids
-  };
-  std::vector<Cand> remaining;
-  remaining.reserve(candidates.candidate_ids.size());
+std::vector<AdvisorCandidate> ResolveAdvisorCandidates(
+    const CandidateSet& candidates) {
+  std::vector<AdvisorCandidate> resolved;
+  resolved.reserve(candidates.candidate_ids.size());
   for (size_t i = 0; i < candidates.candidate_ids.size(); ++i) {
     const IndexId cand = candidates.candidate_ids[i];
     const IndexDef* def = candidates.universe.FindIndex(cand);
     if (def == nullptr) continue;
-    remaining.push_back({cand, IndexSizeBytes(*def), static_cast<uint32_t>(i)});
+    resolved.push_back(
+        {cand, IndexSizeBytes(*def), static_cast<uint32_t>(i)});
+  }
+  return resolved;
+}
+
+GreedyRun RunGreedyFrom(const WorkloadCostEvaluator& evaluator,
+                        const std::vector<AdvisorCandidate>& candidates,
+                        const IndexConfig& start, int64_t start_bytes,
+                        double floor_scale, const AdvisorOptions& options,
+                        WorkloadCostEvaluator::EvalScratch* scratch,
+                        GreedySweepFilter* filter) {
+  GreedyRun run;
+  IndexConfig chosen = start;
+  run.start_cost = evaluator.Cost(chosen);
+  run.evaluations = 1;
+  run.full_evaluations = 1;
+  if (floor_scale <= 0) floor_scale = run.start_cost;
+  double current_cost = run.start_cost;
+  int64_t used_bytes = start_bytes;
+
+  // Working set: everything not already in the start configuration.
+  std::vector<AdvisorCandidate> remaining;
+  remaining.reserve(candidates.size());
+  for (const AdvisorCandidate& cand : candidates) {
+    if (std::find(start.begin(), start.end(), cand.id) != start.end()) {
+      continue;
+    }
+    remaining.push_back(cand);
   }
 
-  WorkloadCostEvaluator::EvalScratch scratch;  // pinned across iterations
+  std::vector<AdvisorCandidate> swept;
   std::vector<IndexId> sweep_ids;
   std::vector<IndexConfig> batch;
   const size_t npos = static_cast<size_t>(-1);
@@ -169,13 +197,22 @@ AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
     if (remaining.empty()) break;
 
     // One sweep per iteration: every surviving candidate appended to the
-    // current configuration, priced together.
+    // current configuration, priced together. A filter may exclude
+    // candidates it can prove dominated (below the stopping floor); that
+    // never changes the outcome — see GreedySweepFilter's contract.
+    swept.clear();
     sweep_ids.clear();
-    for (const Cand& cand : remaining) sweep_ids.push_back(cand.id);
+    for (const AdvisorCandidate& cand : remaining) {
+      if (filter != nullptr && filter->Skip(cand)) continue;
+      swept.push_back(cand);
+      sweep_ids.push_back(cand.id);
+    }
+    if (swept.empty()) break;
     const std::vector<double>* costs;
     std::vector<double> batched_costs;
     if (options.cost_path == AdvisorCostPath::kDelta) {
-      costs = &evaluator.BatchCostWithExtras(chosen, sweep_ids, &scratch);
+      costs = &evaluator.BatchCostWithExtras(chosen, sweep_ids, scratch);
+      run.full_evaluations += 1;  // the pinned base; extras are overlays
     } else {
       batch.clear();
       batch.reserve(sweep_ids.size());
@@ -186,8 +223,9 @@ AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
       }
       batched_costs = evaluator.BatchCost(batch);
       costs = &batched_costs;
+      run.full_evaluations += static_cast<int64_t>(sweep_ids.size());
     }
-    result.evaluations += static_cast<int64_t>(sweep_ids.size());
+    run.evaluations += static_cast<int64_t>(sweep_ids.size());
 
     // Strictly-better argmin with ties broken by original candidate
     // order: identical to pricing the candidates one at a time in
@@ -195,38 +233,76 @@ AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
     // swap-and-pop removals cannot change which index is selected.
     size_t best_i = npos;
     double best_cost = current_cost;
-    for (size_t i = 0; i < remaining.size(); ++i) {
+    for (size_t i = 0; i < swept.size(); ++i) {
       const double cost = (*costs)[i];
       const bool wins =
           best_i == npos
               ? cost < best_cost
               : cost < best_cost ||
-                    (cost == best_cost &&
-                     remaining[i].order < remaining[best_i].order);
+                    (cost == best_cost && swept[i].order < swept[best_i].order);
       if (wins) {
         best_i = i;
         best_cost = cost;
       }
     }
-    if (best_i == npos) break;
-    const double benefit = current_cost - best_cost;
-    if (benefit < options.min_relative_benefit *
-                      std::max(1.0, result.workload_cost_before)) {
+    if (best_i == npos) {
+      // Nothing strictly better: this sweep was priced against the final
+      // configuration, so expose it for dominance pruning.
+      run.final_sweep_valid = true;
+      run.final_sweep = swept;
+      run.final_sweep_costs = *costs;
       break;
     }
-    const Cand winner = remaining[best_i];
+    const double benefit = current_cost - best_cost;
+    if (benefit < options.min_relative_benefit * floor_scale ||
+        benefit < options.min_absolute_benefit) {
+      run.final_sweep_valid = true;
+      run.final_sweep = swept;
+      run.final_sweep_costs = *costs;
+      break;
+    }
+    const AdvisorCandidate winner = swept[best_i];
     chosen.push_back(winner.id);
     used_bytes += winner.size_bytes;
     current_cost = best_cost;
-    remaining[best_i] = remaining.back();
-    remaining.pop_back();
-    result.steps.push_back({winner.id, benefit, winner.size_bytes,
-                            current_cost});
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      // Match on (id, order): order is the unique original slot, so a
+      // duplicated id can never evict its twin.
+      if (remaining[i].id == winner.id &&
+          remaining[i].order == winner.order) {
+        remaining[i] = remaining.back();
+        remaining.pop_back();
+        break;
+      }
+    }
+    if (filter != nullptr) filter->OnPick(winner);
+    run.steps.push_back(
+        {winner.id, benefit, winner.size_bytes, current_cost});
   }
 
-  result.chosen = chosen;
-  result.workload_cost_after = current_cost;
-  result.total_size_bytes = used_bytes;
+  run.chosen = std::move(chosen);
+  run.cost_after = current_cost;
+  run.used_bytes = used_bytes;
+  return run;
+}
+
+AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
+                               const CandidateSet& candidates,
+                               const AdvisorOptions& options) {
+  const std::vector<AdvisorCandidate> resolved =
+      ResolveAdvisorCandidates(candidates);
+  WorkloadCostEvaluator::EvalScratch scratch;  // pinned across iterations
+  const GreedyRun run =
+      RunGreedyFrom(evaluator, resolved, /*start=*/{}, /*start_bytes=*/0,
+                    /*floor_scale=*/0, options, &scratch, /*filter=*/nullptr);
+  AdvisorResult result;
+  result.chosen = run.chosen;
+  result.steps = run.steps;
+  result.workload_cost_before = run.start_cost;
+  result.workload_cost_after = run.cost_after;
+  result.total_size_bytes = run.used_bytes;
+  result.evaluations = run.evaluations;
+  result.full_evaluations = run.full_evaluations;
   return result;
 }
 

@@ -1,6 +1,9 @@
 // The index-selection tool of Section V-E: an iterative greedy algorithm
 // over a large candidate set, evaluating configurations through the
-// (P)INUM cache instead of the optimizer.
+// (P)INUM cache instead of the optimizer. The greedy core is exposed as
+// RunGreedyFrom so the search advisor (src/advisor/search_advisor.h) can
+// run it from arbitrary start configurations — randomized-restart
+// prefixes and swap-move bases — without duplicating the sweep loop.
 #ifndef PINUM_ADVISOR_GREEDY_ADVISOR_H_
 #define PINUM_ADVISOR_GREEDY_ADVISOR_H_
 
@@ -44,7 +47,9 @@ class WorkloadCostEvaluator {
   /// greedy advisor's winner — the contexts are extended in place
   /// (O(postings) per query) instead of re-resolved from scratch. A
   /// scratch belongs to one evaluator's cache vector; do not share it
-  /// across evaluators or concurrent calls. It IS safe to keep using a
+  /// across evaluators over different vectors or concurrent calls — the
+  /// first call records the cache-vector identity in `bound_caches` and
+  /// debug builds assert on a mismatch. It IS safe to keep using a
   /// scratch after WorkloadCacheBuilder::RebuildQueries reseals some of
   /// the vector's caches in place: every call compares each context's
   /// recorded seal id against its cache's (SealedCache::seal_id) and
@@ -61,6 +66,11 @@ class WorkloadCostEvaluator {
     bool pinned_valid = false;
     /// id -> sweep slot map shared by every query's inverted sweep.
     std::vector<uint32_t> position_of_id;
+    /// The cache vector this scratch's contexts belong to, recorded on
+    /// first use. Contexts index one vector's seals; feeding them to an
+    /// evaluator over a different vector would serve costs from the
+    /// wrong workload, so debug builds assert identity on every call.
+    const void* bound_caches = nullptr;
   };
 
   /// `caches` must outlive the evaluator (it may come from a fresh
@@ -95,15 +105,24 @@ class WorkloadCostEvaluator {
 
   size_t NumQueries() const { return caches_->size(); }
 
+  /// The cache vector this evaluator prices against (not owned). The
+  /// search advisor uses this to spin up serial per-restart evaluators
+  /// over the same caches and to read posting footprints for pruning.
+  const std::vector<SealedCache>* caches() const { return caches_; }
+
+  /// The pool sweeps shard over; nullptr for serial pricing.
+  ThreadPool* pool() const { return pool_; }
+
  private:
   const std::vector<SealedCache>* caches_;
   ThreadPool* pool_;
 };
 
 /// How the advisor prices each iteration's candidate sweep. Both paths
-/// produce bit-identical AdvisorResults (the equivalence suite pins
-/// this); the delta path is the fast default, the batched path is the
-/// PR-2 baseline kept for verification and benchmarking.
+/// produce bit-identical AdvisorResults apart from the
+/// `full_evaluations` work counter (the equivalence suite pins this);
+/// the delta path is the fast default, the batched path is the PR-2
+/// baseline kept for verification and benchmarking.
 enum class AdvisorCostPath {
   /// Pin chosen-so-far into per-query contexts once per iteration, sweep
   /// candidates through SealedCache::CostWithExtra posting overlays.
@@ -119,8 +138,19 @@ struct AdvisorOptions {
   int64_t budget_bytes = 5LL * 1024 * 1024 * 1024;
   /// Stop after this many winners regardless of budget (0 = unlimited).
   int max_indexes = 0;
-  /// Minimum relative benefit to keep iterating.
+  /// Minimum benefit to keep iterating, as a fraction of the workload's
+  /// starting cost: the loop stops when an iteration's best benefit
+  /// falls below min_relative_benefit * workload_cost_before. Genuinely
+  /// relative at every scale — a workload whose total cost is 0.5 keeps
+  /// winners worth 5e-7 under the default, where the pre-fix rule
+  /// (scaling by max(1.0, cost_before)) silently became an absolute
+  /// 1e-6 cutoff. Callers that want the old behavior for sub-1.0
+  /// workloads can say so explicitly via min_absolute_benefit.
   double min_relative_benefit = 1e-6;
+  /// Absolute benefit floor applied alongside the relative rule: the
+  /// loop also stops when the best benefit falls below this many cost
+  /// units, regardless of workload scale. 0 (default) disables it.
+  double min_absolute_benefit = 0;
   /// Candidate-sweep pricing path.
   AdvisorCostPath cost_path = AdvisorCostPath::kDelta;
 };
@@ -140,10 +170,105 @@ struct AdvisorResult {
   double workload_cost_before = 0;
   double workload_cost_after = 0;
   int64_t total_size_bytes = 0;
-  /// Number of configuration evaluations performed (each would have been
-  /// an optimizer call without the cache).
+  /// Configurations priced. Each one would have been a whole optimizer
+  /// call without the cache, so this is also the optimizer-calls-avoided
+  /// count. Path-independent: the delta and batched paths price the
+  /// same configurations.
   int64_t evaluations = 0;
+  /// Configurations actually resolved through the full pricing path
+  /// (term-matrix scan over the whole configuration). The delta path
+  /// resolves only each iteration's base and prices the sweep as
+  /// O(postings) posting overlays, so full_evaluations stays at
+  /// 1 + iterations there, while the batched path pays one full
+  /// resolution per priced configuration (== evaluations). The gap
+  /// between the two counters is the work the delta engine avoided —
+  /// deliberately path-DEPENDENT, unlike every other field.
+  int64_t full_evaluations = 0;
 };
+
+/// A budget-resolvable candidate in the advisor working set: its id, its
+/// estimated size (computed once), and its position in
+/// CandidateSet::candidate_ids — the deterministic tie-break rank.
+struct AdvisorCandidate {
+  IndexId id = kInvalidIndexId;
+  int64_t size_bytes = 0;
+  uint32_t order = 0;
+};
+
+/// Resolves a candidate set into the advisor working form. Ids the
+/// universe cannot resolve are dropped here instead of being re-probed
+/// (and re-skipped) every iteration.
+std::vector<AdvisorCandidate> ResolveAdvisorCandidates(
+    const CandidateSet& candidates);
+
+/// Hook for skipping individual candidates out of RunGreedyFrom sweeps.
+/// Skip() must be *exact*: it may only return true for a candidate that
+/// provably cannot change the run's outcome — i.e. one whose benefit
+/// against the run's current configuration is known to fall below the
+/// stopping rule's floor (such a candidate is never accepted, and if it
+/// were the sweep argmin the loop would stop either way, since every
+/// other candidate's benefit is no larger). The search advisor's
+/// posting-overlap pruner (docs/ADVISOR.md) is the intended
+/// implementation. OnPick is invoked after each accepted winner so the
+/// filter can track how the configuration has drifted from whatever
+/// reference its skip evidence was gathered against.
+class GreedySweepFilter {
+ public:
+  virtual ~GreedySweepFilter() = default;
+  virtual bool Skip(const AdvisorCandidate& cand) = 0;
+  virtual void OnPick(const AdvisorCandidate& cand) { (void)cand; }
+};
+
+/// One greedy run from an arbitrary start configuration — the core loop
+/// of RunGreedyAdvisor, exposed for the search advisor's restart and
+/// swap-chain moves.
+struct GreedyRun {
+  /// start + picks, in growth order.
+  IndexConfig chosen;
+  /// The picks only (start members have no steps).
+  std::vector<AdvisorStep> steps;
+  /// Cost of the start configuration / of `chosen`.
+  double start_cost = 0;
+  double cost_after = 0;
+  /// start_bytes + picked sizes.
+  int64_t used_bytes = 0;
+  int64_t evaluations = 0;
+  int64_t full_evaluations = 0;
+  /// The last sweep the loop priced, exposed so a search layer can prove
+  /// candidates dominated in later moves. Valid only when that sweep was
+  /// priced against the final `chosen` (the loop ended because no swept
+  /// candidate beat the benefit floor); runs that end on the budget,
+  /// max_indexes, or empty-sweep exits leave it invalid.
+  bool final_sweep_valid = false;
+  std::vector<AdvisorCandidate> final_sweep;
+  /// final_sweep_costs[i] = Cost(chosen + {final_sweep[i].id}).
+  std::vector<double> final_sweep_costs;
+};
+
+/// Runs greedy selection starting from `start` (whose indexes occupy
+/// `start_bytes` of the budget): repeatedly adds the candidate with the
+/// largest workload benefit until the space budget would be violated or
+/// no candidate helps. Candidates already in `start` are excluded from
+/// the working set; `options.max_indexes` counts start members.
+/// `floor_scale` is the workload cost the relative stopping rule scales
+/// by — pass 0 (or any non-positive value) to scale by the start
+/// configuration's own cost, which is what RunGreedyAdvisor does; the
+/// search advisor passes the empty configuration's cost so every
+/// restart and swap chain stops under the same rule. `scratch` keeps
+/// contexts pinned across iterations (and across calls — swap chains
+/// share one). `filter` optionally skips provably-dominated candidates
+/// (see GreedySweepFilter); pass nullptr to sweep everything.
+///
+/// Deterministic: the result is a pure function of (caches, candidates,
+/// start, floor_scale, options) plus the filter's decisions — ties
+/// break on candidate order rank, pool sharding never changes reduction
+/// order.
+GreedyRun RunGreedyFrom(const WorkloadCostEvaluator& evaluator,
+                        const std::vector<AdvisorCandidate>& candidates,
+                        const IndexConfig& start, int64_t start_bytes,
+                        double floor_scale, const AdvisorOptions& options,
+                        WorkloadCostEvaluator::EvalScratch* scratch,
+                        GreedySweepFilter* filter);
 
 /// Runs the greedy selection: repeatedly adds the candidate with the
 /// largest workload benefit until the space budget would be violated or
@@ -159,7 +284,8 @@ struct AdvisorResult {
 /// changes reduction order — so runs on a fresh build, on a restored
 /// snapshot, on either cost path, and at any thread count are all
 /// bit-identical (the equivalence suites in tests/advisor_test.cc and
-/// tests/snapshot_test.cc pin this).
+/// tests/snapshot_test.cc pin this; `full_evaluations` is the one
+/// deliberately path-dependent field).
 AdvisorResult RunGreedyAdvisor(const WorkloadCostEvaluator& evaluator,
                                const CandidateSet& candidates,
                                const AdvisorOptions& options);

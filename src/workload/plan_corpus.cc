@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "advisor/greedy_advisor.h"
+#include "advisor/search_advisor.h"
 #include "workload/workload_family.h"
 
 namespace pinum {
@@ -152,6 +153,52 @@ StatusOr<std::string> BuildCorpusText(const CorpusSpec& spec,
   out << "advisor.cost_after = " << Hex(advisor.workload_cost_after) << "\n";
   out << "advisor.total_size_bytes = " << advisor.total_size_bytes << "\n";
   out << "advisor.evaluations = " << advisor.evaluations << "\n";
+
+  // Search-advisor trajectory (docs/ADVISOR.md): serial, fixed seed, no
+  // time budget — fully covered by the determinism contract, so every
+  // line below is as byte-stable as the greedy block above. A drift here
+  // with stable advisor.* lines localizes the change to the restart or
+  // swap machinery.
+  SearchOptions sopts;
+  sopts.base = aopts;
+  sopts.seed = 1;
+  sopts.max_restarts = 6;
+  const SearchResult search = RunSearchAdvisor(result.sealed, inst->set,
+                                               sopts);
+  out << "search.seed = " << sopts.seed << "\n";
+  out << "search.max_restarts = " << sopts.max_restarts << "\n";
+  for (const SearchRestart& r : search.restarts) {
+    out << "search.restart[" << r.restart << "] = prefix=" << r.prefix_size
+        << " chosen=" << r.num_chosen << " after=" << Hex(r.cost_after)
+        << "\n";
+  }
+  for (size_t s = 0; s < search.swaps.size(); ++s) {
+    const SearchSwap& swap = search.swaps[s];
+    out << "search.swap[" << s << "] = pass=" << swap.pass
+        << " evict=" << NameOf(inst->set, swap.evicted) << " insert="
+        << (swap.inserted == kInvalidIndexId
+                ? std::string("none")
+                : NameOf(inst->set, swap.inserted))
+        << " chain=" << swap.chain_length << " after=" << Hex(swap.cost_after)
+        << "\n";
+  }
+  out << "search.chosen = ";
+  if (search.chosen.empty()) {
+    out << "none";
+  } else {
+    for (size_t c = 0; c < search.chosen.size(); ++c) {
+      out << (c > 0 ? " " : "") << NameOf(inst->set, search.chosen[c]);
+    }
+  }
+  out << "\n";
+  out << "search.cost_after = " << Hex(search.workload_cost_after) << "\n";
+  out << "search.total_size_bytes = " << search.total_size_bytes << "\n";
+  out << "search.evaluations = " << search.evaluations << "\n";
+  out << "search.swaps_accepted = " << search.swaps_accepted << "\n";
+  out << "search.pruned = " << search.swap_candidates_pruned << "\n";
+  out << "search.matches_greedy = "
+      << (search.workload_cost_after == search.greedy_cost_after ? 1 : 0)
+      << "\n";
   return out.str();
 }
 

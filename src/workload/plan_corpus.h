@@ -1,6 +1,8 @@
 // The golden plan-stability corpus: per (family, seed, budget), the
-// chosen plans, internal/access costs, seal pruning counts, and greedy
-// advisor trajectory, rendered as canonical `key = value` text and
+// chosen plans, internal/access costs, seal pruning counts, and the
+// greedy + search advisor trajectories (search.* lines: restart and
+// swap-move outcomes at a fixed seed), rendered as canonical
+// `key = value` text and
 // checked in under tests/corpus/. CI regenerates the text and diffs it
 // against the golden files (tools/corpus_tool.cc), so a cost-model or
 // advisor change fails loudly with the exact changed (workload, query,
@@ -35,8 +37,9 @@ std::vector<CorpusSpec> DefaultCorpusSpecs();
 std::string CorpusFileName(const CorpusSpec& spec);
 
 /// Builds the spec's workload (serially — num_threads is forced to 1 so
-/// accounting is scheduling-independent), runs the greedy advisor at the
-/// spec's budget, and renders the canonical corpus text. `base_opts`
+/// accounting is scheduling-independent), runs the greedy advisor and
+/// the randomized search (serial, seed 1, no time budget) at the spec's
+/// budget, and renders the canonical corpus text. `base_opts`
 /// carries everything else (mode, planner knobs): the perturbation test
 /// passes a tweaked cost constant through it and asserts the diff
 /// reports exactly the cost-bearing entries.

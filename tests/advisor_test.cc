@@ -2,9 +2,12 @@
 
 #include "advisor/candidate_generator.h"
 #include "advisor/greedy_advisor.h"
+#include "optimizer/path.h"
+#include "optimizer/scan_builder.h"
 #include "pinum/pinum_builder.h"
 #include "test_util.h"
 #include "whatif/candidate_set.h"
+#include "whatif/whatif_index.h"
 
 namespace pinum {
 namespace {
@@ -146,8 +149,147 @@ TEST_F(AdvisorTest, DeltaAndBatchedPathsReturnIdenticalResults) {
     const AdvisorResult b = RunGreedyAdvisor(caches_, set_, batched);
     const AdvisorResult d = RunGreedyAdvisor(caches_, set_, delta);
     SCOPED_TRACE("budget " + std::to_string(budget));
-    ExpectSameAdvisorResult(b, d);
+    ExpectSameAdvisorResult(b, d, /*same_cost_path=*/false);
   }
+}
+
+TEST_F(AdvisorTest, EvaluationCountersSplitConfigsPricedFromFullWork) {
+  // Regression: the delta path used to report sweep_ids.size() as if
+  // every extra were a full configuration evaluation. The split pins
+  // both semantics: `evaluations` counts configurations priced (each an
+  // optimizer call avoided — path-independent), `full_evaluations`
+  // counts configurations actually resolved through the full pricing
+  // path (the delta path's sweeps are O(postings) overlays, so only the
+  // per-iteration pinned base counts there).
+  AdvisorOptions delta;  // default kDelta
+  AdvisorOptions batched;
+  batched.cost_path = AdvisorCostPath::kBatched;
+  const AdvisorResult d = RunGreedyAdvisor(caches_, set_, delta);
+  const AdvisorResult b = RunGreedyAdvisor(caches_, set_, batched);
+  ASSERT_FALSE(d.chosen.empty());
+
+  // Configurations priced: path-independent, and exactly one initial
+  // Cost plus one per swept candidate. The default budget never drops a
+  // candidate mid-run, so sweep i prices (num_candidates - i) survivors
+  // and there are steps + 1 sweeps (the last finds nothing above the
+  // floor).
+  EXPECT_EQ(d.evaluations, b.evaluations);
+  const int64_t n = static_cast<int64_t>(set_.candidate_ids.size());
+  const int64_t sweeps = static_cast<int64_t>(d.steps.size()) + 1;
+  int64_t expected_priced = 1;
+  for (int64_t i = 0; i < sweeps; ++i) expected_priced += n - i;
+  EXPECT_EQ(d.evaluations, expected_priced);
+
+  // Full-path work: the batched path pays one full resolution per
+  // priced configuration; the delta path pays the initial Cost plus one
+  // pinned base per sweep and nothing else.
+  EXPECT_EQ(b.full_evaluations, b.evaluations);
+  EXPECT_EQ(d.full_evaluations, 1 + sweeps);
+  EXPECT_LT(d.full_evaluations, d.evaluations);
+}
+
+TEST_F(AdvisorTest, AllOutOfUniverseExtrasPriceAsBase) {
+  // Regression sweep for the max_id == -1 edge: when every extra is
+  // negative (or there are none), there is nothing to overlay — every
+  // row must come back as exactly Cost(base), the call must leave the
+  // pinned contexts coherent, and the next real sweep must reuse them
+  // warm with unchanged bits.
+  std::vector<SealedCache> sealed;
+  for (const InumCache& cache : caches_) {
+    sealed.push_back(SealedCache::Seal(cache, set_.NumIndexIds()));
+  }
+  const WorkloadCostEvaluator evaluator(&sealed);
+  WorkloadCostEvaluator::EvalScratch scratch;
+
+  IndexConfig base;
+  base.push_back(set_.candidate_ids[0]);
+  const double base_cost = evaluator.Cost(base);
+
+  const std::vector<IndexId> bogus = {kInvalidIndexId, -2, -7};
+  const std::vector<double> all_negative =
+      evaluator.BatchCostWithExtras(base, bogus, &scratch);
+  ASSERT_EQ(all_negative.size(), bogus.size());
+  for (size_t e = 0; e < all_negative.size(); ++e) {
+    EXPECT_EQ(all_negative[e], base_cost) << "extra " << e;
+  }
+
+  const std::vector<double> none =
+      evaluator.BatchCostWithExtras(base, {}, &scratch);
+  EXPECT_TRUE(none.empty());
+
+  // The empty sweeps above still pinned/extended contexts: a real sweep
+  // on a base grown by one id must take the extend fast path and match
+  // the from-scratch batch bit for bit.
+  IndexConfig grown = base;
+  grown.push_back(set_.candidate_ids[1]);
+  const std::vector<double>& real =
+      evaluator.BatchCostWithExtras(grown, set_.candidate_ids, &scratch);
+  std::vector<IndexConfig> configs;
+  for (IndexId id : set_.candidate_ids) {
+    IndexConfig config = grown;
+    config.push_back(id);
+    configs.push_back(std::move(config));
+  }
+  const std::vector<double> expected = evaluator.BatchCost(configs);
+  ASSERT_EQ(real.size(), expected.size());
+  for (size_t e = 0; e < expected.size(); ++e) {
+    EXPECT_EQ(real[e], expected[e]) << "extra " << e;
+  }
+}
+
+TEST(AdvisorStoppingRuleTest, RelativeRuleStaysRelativeBelowUnitCost) {
+  // Regression: the stopping rule used to scale by
+  // max(1.0, workload_cost_before), silently turning the threshold
+  // absolute for workloads whose total cost sits below 1.0 — a winner
+  // worth 6e-7 on a 0.5-cost workload (relative benefit 1.2e-6, above
+  // the 1e-6 default) was dropped. Hand-build such a workload: one
+  // seq-scan plan costing 0.5, one candidate shaving 6e-7 off.
+  MiniStar mini;
+  const IndexDef def = MakeWhatIfIndex(
+      "tiny_cand", *mini.db.catalog().FindTable(mini.fact), {3}, 100.0);
+  CandidateSet set = *MakeCandidateSet(mini.db.catalog(), {def});
+  const IndexId cand = set.candidate_ids[0];
+
+  InumCache cache;
+  Path plan;
+  plan.kind = PathKind::kSeqScan;
+  plan.table_pos = 0;
+  plan.cost = {0, 0.5};
+  LeafSlot slot;
+  slot.table_pos = 0;
+  slot.req = LeafReqKind::kUnordered;
+  slot.unit_cost = 0.4;
+  plan.leaves = {slot};
+  cache.AddPlan(plan, mini.db.catalog());
+  TableAccessInfo info;
+  info.pos = 0;
+  info.table = mini.fact;
+  ScanOption seq;
+  seq.index = kInvalidIndexId;
+  seq.cost = {0, 0.4};
+  info.options.push_back(seq);
+  ScanOption idx;
+  idx.index = cand;
+  idx.cost = {0, 0.4 - 6e-7};
+  info.options.push_back(idx);
+  cache.mutable_access()->Absorb(info);
+
+  std::vector<SealedCache> sealed;
+  sealed.push_back(SealedCache::Seal(cache, set.NumIndexIds()));
+
+  AdvisorOptions opts;  // min_relative_benefit = 1e-6, floor disabled
+  const AdvisorResult kept = RunGreedyAdvisor(sealed, set, opts);
+  ASSERT_LT(kept.workload_cost_before, 1.0);
+  EXPECT_EQ(kept.chosen, std::vector<IndexId>{cand})
+      << "a benefit above min_relative_benefit * cost_before must be kept "
+         "even when cost_before < 1.0";
+
+  // The documented absolute floor reproduces the old cutoff on demand.
+  AdvisorOptions absolute = opts;
+  absolute.min_absolute_benefit = 1e-6;
+  const AdvisorResult dropped = RunGreedyAdvisor(sealed, set, absolute);
+  EXPECT_TRUE(dropped.chosen.empty());
+  EXPECT_EQ(dropped.workload_cost_after, dropped.workload_cost_before);
 }
 
 TEST_F(AdvisorTest, BatchCostWithExtrasMatchesBatchCost) {

@@ -326,6 +326,40 @@ TEST_F(IncrementalResealTest, ScratchReuseAcrossResealServesLiveCosts) {
   }
 }
 
+TEST_F(IncrementalResealTest, ScratchBoundToOneCacheVectorAssertsInDebug) {
+  // The header's contract — "a scratch belongs to one evaluator's cache
+  // vector" — is now enforced: the first BatchCostWithExtras records the
+  // vector's identity in the scratch and debug builds assert on any
+  // later call through a different vector. (Release builds stay safe
+  // regardless: the foreign vector's seal ids never match the pinned
+  // contexts', so every context is re-prepared — but that silent full
+  // re-prepare storm is exactly the misuse worth catching loudly.)
+  CandidateSet set = fix_->set;
+  StatsCatalog stats = fix_->stats();
+  WorkloadCacheBuilder builder(&fix_->catalog(), &set, &stats,
+                               WorkloadCacheOptions{});
+  auto built_a = builder.BuildAll(fix_->queries());
+  ASSERT_TRUE(built_a.ok()) << built_a.status().ToString();
+  auto built_b = builder.BuildAll(fix_->queries());
+  ASSERT_TRUE(built_b.ok()) << built_b.status().ToString();
+
+  const WorkloadCostEvaluator eval_a(&built_a->sealed);
+  const WorkloadCostEvaluator eval_b(&built_b->sealed);
+  const std::vector<IndexId>& extras = set.candidate_ids;
+  WorkloadCostEvaluator::EvalScratch scratch;
+  (void)eval_a.BatchCostWithExtras({}, extras, &scratch);
+  EXPECT_EQ(scratch.bound_caches, &built_a->sealed);
+  EXPECT_DEBUG_DEATH(
+      (void)eval_b.BatchCostWithExtras({}, extras, &scratch),
+      "EvalScratch reused with a different evaluator's cache vector");
+
+  // Same-vector reuse stays allowed — including after an in-place
+  // reseal, which ScratchReuseAcrossResealServesLiveCosts pins above.
+  const std::vector<double> again =
+      eval_a.BatchCostWithExtras({}, extras, &scratch);
+  EXPECT_EQ(again.size(), extras.size());
+}
+
 TEST_F(IncrementalResealTest, MovedCachesKeepTheirSealAndPinnedContexts) {
   // Regression: SealedCache's move operations transfer the arena handle
   // but KEEP the seal id — a move is the same immutable seal changing

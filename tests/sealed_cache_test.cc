@@ -319,13 +319,13 @@ TEST_F(SealedCacheTest, AdvisorDeltaPathMatchesBatchedPath) {
     const AdvisorResult b = RunGreedyAdvisor(evaluator, fix_->star->set, batched);
     const AdvisorResult d = RunGreedyAdvisor(evaluator, fix_->star->set, delta);
     SCOPED_TRACE("variant " + std::to_string(v));
-    ExpectSameAdvisorResult(b, d);
+    ExpectSameAdvisorResult(b, d, /*same_cost_path=*/false);
     EXPECT_FALSE(b.chosen.empty());
 
     ThreadPool pool(0);
     const WorkloadCostEvaluator pooled(&fix_->pinum.sealed, &pool);
     const AdvisorResult dp = RunGreedyAdvisor(pooled, fix_->star->set, delta);
-    ExpectSameAdvisorResult(b, dp);
+    ExpectSameAdvisorResult(b, dp, /*same_cost_path=*/false);
   }
 }
 

@@ -1,0 +1,347 @@
+// RunSearchAdvisor: the anytime randomized search must (a) never return
+// a configuration costlier than the greedy baseline it embeds as
+// restart 0, (b) be a pure function of (caches, candidates, options) —
+// same bits serial, pooled at any width, re-run, and from restored
+// snapshots — and (c) prove its swap/backtracking moves actually escape
+// a greedy trap (index-interaction effects a single sweep misses).
+// Pruning via posting-overlap signatures is work-saving only: results
+// with it on and off are compared field for field.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "advisor/search_advisor.h"
+#include "common/thread_pool.h"
+#include "optimizer/path.h"
+#include "optimizer/scan_builder.h"
+#include "test_util.h"
+#include "whatif/candidate_set.h"
+#include "whatif/whatif_index.h"
+#include "workload/cache_manager.h"
+
+namespace pinum {
+namespace {
+
+/// Everything except wall_ms (measured time, explicitly outside the
+/// determinism contract), compared exactly.
+void ExpectSameSearchResult(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_EQ(a.workload_cost_before, b.workload_cost_before);
+  EXPECT_EQ(a.workload_cost_after, b.workload_cost_after);
+  EXPECT_EQ(a.greedy_cost_after, b.greedy_cost_after);
+  EXPECT_EQ(a.total_size_bytes, b.total_size_bytes);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.full_evaluations, b.full_evaluations);
+  EXPECT_EQ(a.restarts_completed, b.restarts_completed);
+  EXPECT_EQ(a.swaps_accepted, b.swaps_accepted);
+  EXPECT_EQ(a.swap_candidates_pruned, b.swap_candidates_pruned);
+  ASSERT_EQ(a.restarts.size(), b.restarts.size());
+  for (size_t i = 0; i < a.restarts.size(); ++i) {
+    EXPECT_EQ(a.restarts[i].restart, b.restarts[i].restart) << "restart " << i;
+    EXPECT_EQ(a.restarts[i].prefix_size, b.restarts[i].prefix_size)
+        << "restart " << i;
+    EXPECT_EQ(a.restarts[i].completed, b.restarts[i].completed)
+        << "restart " << i;
+    EXPECT_EQ(a.restarts[i].cost_after, b.restarts[i].cost_after)
+        << "restart " << i;
+    EXPECT_EQ(a.restarts[i].num_chosen, b.restarts[i].num_chosen)
+        << "restart " << i;
+  }
+  ASSERT_EQ(a.swaps.size(), b.swaps.size());
+  for (size_t i = 0; i < a.swaps.size(); ++i) {
+    EXPECT_EQ(a.swaps[i].pass, b.swaps[i].pass) << "swap " << i;
+    EXPECT_EQ(a.swaps[i].evicted, b.swaps[i].evicted) << "swap " << i;
+    EXPECT_EQ(a.swaps[i].inserted, b.swaps[i].inserted) << "swap " << i;
+    EXPECT_EQ(a.swaps[i].chain_length, b.swaps[i].chain_length)
+        << "swap " << i;
+    EXPECT_EQ(a.swaps[i].cost_after, b.swaps[i].cost_after) << "swap " << i;
+  }
+}
+
+/// Shared chain-family workload: built once, sealed caches served to
+/// every test. Chain instances have enough candidates and queries for
+/// restarts and swaps to do real work while staying fast.
+class SearchAdvisorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fix_ = MakeFamilyFixture("chain");
+    ASSERT_NE(fix_, nullptr);
+    WorkloadCacheBuilder builder(&fix_->catalog(), &fix_->set,
+                                 &fix_->instance->mutable_stats(),
+                                 WorkloadCacheOptions{});
+    auto built = builder.BuildAll(fix_->queries());
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    built_ = new WorkloadCacheResult(std::move(*built));
+  }
+  static void TearDownTestSuite() {
+    delete built_;
+    built_ = nullptr;
+    fix_.reset();
+  }
+
+  static SearchOptions TightOptions() {
+    SearchOptions options;
+    options.base.budget_bytes = 48 * 1024 * 1024;  // tight: forces choices
+    options.seed = 1;
+    options.max_restarts = 6;
+    return options;
+  }
+
+  static std::unique_ptr<FamilyFixture> fix_;
+  static WorkloadCacheResult* built_;
+};
+
+std::unique_ptr<FamilyFixture> SearchAdvisorTest::fix_;
+WorkloadCacheResult* SearchAdvisorTest::built_ = nullptr;
+
+TEST_F(SearchAdvisorTest, NeverWorseThanGreedyAcrossBudgets) {
+  for (int64_t budget :
+       {int64_t{16} * 1024 * 1024, int64_t{48} * 1024 * 1024,
+        int64_t{256} * 1024 * 1024, int64_t{4} * 1024 * 1024 * 1024}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    SearchOptions options = TightOptions();
+    options.base.budget_bytes = budget;
+    AdvisorOptions gopts = options.base;
+    const AdvisorResult greedy =
+        RunGreedyAdvisor(built_->sealed, fix_->set, gopts);
+    const SearchResult search =
+        RunSearchAdvisor(built_->sealed, fix_->set, options);
+
+    // Restart 0 IS the greedy baseline.
+    EXPECT_EQ(search.greedy_cost_after, greedy.workload_cost_after);
+    EXPECT_EQ(search.workload_cost_before, greedy.workload_cost_before);
+    ASSERT_FALSE(search.restarts.empty());
+    EXPECT_EQ(search.restarts[0].restart, 0u);
+    EXPECT_EQ(search.restarts[0].prefix_size, 0u);
+    EXPECT_TRUE(search.restarts[0].completed);
+    EXPECT_EQ(search.restarts[0].cost_after, greedy.workload_cost_after);
+
+    // The quality guarantee, and internal consistency: the reported
+    // cost is bit-identical to pricing the chosen configuration.
+    EXPECT_LE(search.workload_cost_after, search.greedy_cost_after);
+    const WorkloadCostEvaluator evaluator(&built_->sealed);
+    EXPECT_EQ(evaluator.Cost(search.chosen), search.workload_cost_after);
+    EXPECT_LE(search.total_size_bytes, budget);
+    int64_t recomputed = 0;
+    for (IndexId id : search.chosen) {
+      recomputed += IndexSizeBytes(*fix_->set.universe.FindIndex(id));
+    }
+    EXPECT_EQ(recomputed, search.total_size_bytes);
+    EXPECT_EQ(search.restarts_completed,
+              static_cast<int64_t>(options.max_restarts) + 1);
+  }
+}
+
+TEST_F(SearchAdvisorTest, DeterministicAcrossThreadCountsAndReruns) {
+  const SearchOptions options = TightOptions();
+  const SearchResult serial =
+      RunSearchAdvisor(built_->sealed, fix_->set, options);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ThreadPool pool(threads);
+    const WorkloadCostEvaluator pooled(&built_->sealed, &pool);
+    const SearchResult a = RunSearchAdvisor(pooled, fix_->set, options);
+    const SearchResult b = RunSearchAdvisor(pooled, fix_->set, options);
+    ExpectSameSearchResult(serial, a);
+    ExpectSameSearchResult(a, b);
+  }
+}
+
+TEST_F(SearchAdvisorTest, BitIdenticalFromRestoredSnapshot) {
+  // Same determinism contract as greedy: a snapshot round trip changes
+  // nothing about the search's bits.
+  WorkloadCacheBuilder builder(&fix_->catalog(), &fix_->set,
+                               &fix_->instance->mutable_stats(),
+                               WorkloadCacheOptions{});
+  const std::string path = ::testing::TempDir() +
+                           std::to_string(getpid()) + "_search.snap";
+  ASSERT_TRUE(builder.SaveSnapshot(path, *built_, fix_->queries()).ok());
+  auto restored = builder.LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const SearchOptions options = TightOptions();
+  const SearchResult fresh =
+      RunSearchAdvisor(built_->sealed, fix_->set, options);
+  const SearchResult from_snapshot =
+      RunSearchAdvisor(restored->sealed, fix_->set, options);
+  ExpectSameSearchResult(fresh, from_snapshot);
+  (void)unlink(path.c_str());
+}
+
+TEST_F(SearchAdvisorTest, SeedChangesTrajectoriesNotTheGuarantee) {
+  double first_cost = 0;
+  bool any_prefix_difference = false;
+  std::vector<uint32_t> first_prefixes;
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SearchOptions options = TightOptions();
+    options.seed = seed;
+    const SearchResult search =
+        RunSearchAdvisor(built_->sealed, fix_->set, options);
+    EXPECT_LE(search.workload_cost_after, search.greedy_cost_after);
+    std::vector<uint32_t> prefixes;
+    for (const SearchRestart& r : search.restarts) {
+      prefixes.push_back(r.prefix_size);
+    }
+    if (seed == 1) {
+      first_cost = search.greedy_cost_after;
+      first_prefixes = prefixes;
+    } else {
+      // The baseline is seed-independent; the random prefixes are not.
+      EXPECT_EQ(search.greedy_cost_after, first_cost);
+      any_prefix_difference =
+          any_prefix_difference || prefixes != first_prefixes;
+    }
+  }
+  EXPECT_TRUE(any_prefix_difference)
+      << "three seeds drew identical restart prefixes";
+}
+
+TEST_F(SearchAdvisorTest, PruningNeverChangesTheResult) {
+  // The posting-overlap pruner may only skip candidates that provably
+  // cannot change any swap chain: identical results with it on and off,
+  // except for the work counters it exists to reduce.
+  for (int64_t budget : {int64_t{16} * 1024 * 1024,
+                         int64_t{48} * 1024 * 1024,
+                         int64_t{256} * 1024 * 1024}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    SearchOptions on = TightOptions();
+    on.base.budget_bytes = budget;
+    SearchOptions off = on;
+    off.prune_dominated_swaps = false;
+    const SearchResult with_prune =
+        RunSearchAdvisor(built_->sealed, fix_->set, on);
+    const SearchResult without =
+        RunSearchAdvisor(built_->sealed, fix_->set, off);
+    EXPECT_EQ(with_prune.chosen, without.chosen);
+    EXPECT_EQ(with_prune.workload_cost_after, without.workload_cost_after);
+    EXPECT_EQ(with_prune.greedy_cost_after, without.greedy_cost_after);
+    EXPECT_EQ(with_prune.total_size_bytes, without.total_size_bytes);
+    EXPECT_EQ(with_prune.swaps_accepted, without.swaps_accepted);
+    EXPECT_EQ(with_prune.swaps.size(), without.swaps.size());
+    EXPECT_EQ(without.swap_candidates_pruned, 0);
+    EXPECT_LE(with_prune.evaluations, without.evaluations);
+  }
+}
+
+TEST_F(SearchAdvisorTest, TimeBudgetIsAnytime) {
+  // A microscopic deadline: the greedy baseline still completes (the
+  // floor of the anytime contract), the result is valid and never worse
+  // than greedy, and later restarts/moves are skipped cleanly.
+  SearchOptions options = TightOptions();
+  options.time_budget_ms = 1e-6;
+  const SearchResult search =
+      RunSearchAdvisor(built_->sealed, fix_->set, options);
+  EXPECT_GE(search.restarts_completed, 1);
+  EXPECT_TRUE(search.restarts[0].completed);
+  EXPECT_LE(search.workload_cost_after, search.greedy_cost_after);
+  const WorkloadCostEvaluator evaluator(&built_->sealed);
+  EXPECT_EQ(evaluator.Cost(search.chosen), search.workload_cost_after);
+}
+
+TEST_F(SearchAdvisorTest, MaxIndexesAndBudgetRespected) {
+  SearchOptions options = TightOptions();
+  options.base.max_indexes = 2;
+  const SearchResult search =
+      RunSearchAdvisor(built_->sealed, fix_->set, options);
+  EXPECT_LE(search.chosen.size(), 2u);
+  EXPECT_LE(search.total_size_bytes, options.base.budget_bytes);
+  EXPECT_LE(search.workload_cost_after, search.greedy_cost_after);
+}
+
+TEST(SearchAdvisorTrapTest, SwapMovesEscapeAGreedyTrap) {
+  // The classic interaction greedy cannot see: candidate A alone is the
+  // best single pick and fills the budget; B and C individually help
+  // less but together beat A. Greedy takes A and stops; the search's
+  // swap move must evict A and greedy-complete to {B, C}. Restarts are
+  // disabled so only the swap/backtracking machinery can find it.
+  MiniStar mini;
+  const TableDef& fact = *mini.db.catalog().FindTable(mini.fact);
+  const IndexDef def_a = MakeWhatIfIndex("trap_a", fact, {1}, 150'000.0);
+  const IndexDef def_b = MakeWhatIfIndex("trap_b", fact, {2}, 100'000.0);
+  const IndexDef def_c = MakeWhatIfIndex("trap_c", fact, {3}, 100'000.0);
+  CandidateSet set = *MakeCandidateSet(mini.db.catalog(), {def_a, def_b,
+                                                           def_c});
+  const IndexId a = set.candidate_ids[0];
+  const IndexId b = set.candidate_ids[1];
+  const IndexId c = set.candidate_ids[2];
+  const int64_t size_a = IndexSizeBytes(def_a);
+  const int64_t size_b = IndexSizeBytes(def_b);
+  const int64_t size_c = IndexSizeBytes(def_c);
+  const int64_t budget = size_b + size_c;
+  // The trap's geometry: A fits alone but leaves no room for anything
+  // else.
+  ASSERT_LE(size_a, budget);
+  ASSERT_GT(size_a + size_b, budget);
+  ASSERT_GT(size_a + size_c, budget);
+
+  // Three single-table queries; each cache rewards exactly one
+  // candidate (disjoint posting footprints, which also exercises the
+  // pruner's signatures): A saves 10 on q0, B and C save 6 each.
+  auto make_cache = [&](IndexId rewarded, double saving) {
+    InumCache cache;
+    Path plan;
+    plan.kind = PathKind::kSeqScan;
+    plan.table_pos = 0;
+    plan.cost = {0, 60};
+    LeafSlot slot;
+    slot.table_pos = 0;
+    slot.req = LeafReqKind::kUnordered;
+    slot.unit_cost = 50;
+    plan.leaves = {slot};
+    cache.AddPlan(plan, mini.db.catalog());
+    TableAccessInfo info;
+    info.pos = 0;
+    info.table = mini.fact;
+    ScanOption seq;
+    seq.index = kInvalidIndexId;
+    seq.cost = {0, 50};
+    info.options.push_back(seq);
+    ScanOption idx;
+    idx.index = rewarded;
+    idx.cost = {0, 50 - saving};
+    info.options.push_back(idx);
+    cache.mutable_access()->Absorb(info);
+    return SealedCache::Seal(cache, set.NumIndexIds());
+  };
+  std::vector<SealedCache> sealed;
+  sealed.push_back(make_cache(a, 10));
+  sealed.push_back(make_cache(b, 6));
+  sealed.push_back(make_cache(c, 6));
+
+  SearchOptions options;
+  options.base.budget_bytes = budget;
+  options.max_restarts = 0;  // swaps must do it alone
+
+  const AdvisorResult greedy =
+      RunGreedyAdvisor(sealed, set, options.base);
+  ASSERT_EQ(greedy.chosen, (std::vector<IndexId>{a}));
+
+  const SearchResult search = RunSearchAdvisor(sealed, set, options);
+  EXPECT_EQ(search.greedy_cost_after, greedy.workload_cost_after);
+  EXPECT_LT(search.workload_cost_after, search.greedy_cost_after);
+  EXPECT_EQ(search.chosen, (IndexConfig{b, c}));
+  ASSERT_EQ(search.swaps_accepted, 1);
+  EXPECT_EQ(search.swaps[0].evicted, a);
+  EXPECT_EQ(search.swaps[0].inserted, b);
+  EXPECT_EQ(search.swaps[0].chain_length, 2u);
+  // Workload arithmetic: base 180, greedy saves 10, the pair saves 12.
+  EXPECT_EQ(search.workload_cost_after, greedy.workload_cost_after - 2);
+
+  // With restarts enabled, a random prefix finds the same optimum, and
+  // pruning on/off agree here too.
+  SearchOptions restarts = options;
+  restarts.max_restarts = 8;
+  const SearchResult wide = RunSearchAdvisor(sealed, set, restarts);
+  EXPECT_EQ(wide.workload_cost_after, search.workload_cost_after);
+  SearchOptions no_prune = restarts;
+  no_prune.prune_dominated_swaps = false;
+  const SearchResult raw = RunSearchAdvisor(sealed, set, no_prune);
+  EXPECT_EQ(raw.chosen, wide.chosen);
+  EXPECT_EQ(raw.workload_cost_after, wide.workload_cost_after);
+}
+
+}  // namespace
+}  // namespace pinum

@@ -32,9 +32,13 @@ namespace pinum {
 /// doubles compared with ==, because the delta path's contract (and the
 /// batched/serial pricing contract before it) is bitwise equality, not
 /// approximate agreement. Any new AdvisorResult field belongs here so
-/// every equivalence suite enforces it.
+/// every equivalence suite enforces it. `full_evaluations` is the one
+/// deliberately path-DEPENDENT field (it counts full-path resolutions,
+/// which the delta path avoids); pass same_cost_path = false when `a`
+/// and `b` ran different cost paths so everything else is still pinned.
 inline void ExpectSameAdvisorResult(const AdvisorResult& a,
-                                    const AdvisorResult& b) {
+                                    const AdvisorResult& b,
+                                    bool same_cost_path = true) {
   EXPECT_EQ(a.chosen, b.chosen);
   ASSERT_EQ(a.steps.size(), b.steps.size());
   for (size_t i = 0; i < a.steps.size(); ++i) {
@@ -48,6 +52,7 @@ inline void ExpectSameAdvisorResult(const AdvisorResult& a,
   EXPECT_EQ(a.workload_cost_after, b.workload_cost_after);
   EXPECT_EQ(a.total_size_bytes, b.total_size_bytes);
   EXPECT_EQ(a.evaluations, b.evaluations);
+  if (same_cost_path) EXPECT_EQ(a.full_evaluations, b.full_evaluations);
 }
 
 /// Random atomic configuration over the candidates relevant to `q` (at
